@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive campaigns (weblab, controlled, longitudinal) are built
+once per session and shared; each bench times its figure-specific
+computation and asserts the paper's qualitative shape.
+
+Scale note: benches run the experiments at the paper's scale (110
+clients x 10 servers, 50 x 5 controlled pairs, 30 x 50 longitudinal
+samples) — matching the paper's *sampling plan*, not its wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.controlled import ControlledConfig, run_controlled
+from repro.experiments.longitudinal import run_longitudinal
+from repro.experiments.scenario import build_world
+from repro.experiments.weblab import WeblabConfig, run_weblab
+
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def paper_world():
+    """The full-scale world every campaign shares."""
+    return build_world(seed=BENCH_SEED, scale="paper")
+
+
+@pytest.fixture(scope="session")
+def weblab_result(paper_world):
+    return run_weblab(WeblabConfig(seed=BENCH_SEED, scale="paper"), world=paper_world)
+
+
+@pytest.fixture(scope="session")
+def controlled_campaign():
+    # Uses its own world: the campaign attaches its own client set and
+    # advances the clock during the longitudinal follow-up.
+    return run_controlled(ControlledConfig(seed=BENCH_SEED, scale="paper"))
+
+
+@pytest.fixture(scope="session")
+def longitudinal_result(controlled_campaign):
+    return run_longitudinal(controlled_campaign)

@@ -1,0 +1,32 @@
+"""E9 / Sec. V-B — C4.5 threshold extraction.
+
+Paper: an overlay path that cuts RTT by >= 10.5 % and loss by
+>= 12.1 % has a high likelihood of improving throughput.  We fit the
+same kind of tree on our campaign and require (a) high accuracy and
+(b) positive-rule thresholds that are similarly small.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.classify import run_classify
+
+
+def test_c45_thresholds(benchmark, controlled_campaign):
+    result = benchmark.pedantic(
+        lambda: run_classify(controlled_campaign), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # The tree separates improved from unimproved overlay paths well.
+    assert result.accuracy >= 0.85
+    assert result.examples == len(controlled_campaign.result.pairs) * 4
+
+    bounds = result.single_thresholds()
+    assert "rtt_reduction" in bounds, "RTT reduction must appear in a positive rule"
+    # Small positive thresholds, like the paper's 10.5 % / 12.1 %.
+    assert -0.05 <= bounds["rtt_reduction"] <= 0.45
+    combined = result.combined_thresholds()
+    if combined is not None:
+        assert 0.0 <= combined["rtt_reduction"] <= 0.5
+        assert -0.5 <= combined["loss_reduction"] <= 0.9

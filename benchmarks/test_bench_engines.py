@@ -1,0 +1,25 @@
+"""Cross-engine validation bench.
+
+Not a paper figure — the credibility check behind all of them: the
+closed-form model (used for the 6,600-path campaigns), the fluid
+simulator (used for MPTCP) and the packet-level simulator (ground
+truth) must tell the same story across the canonical scenario matrix.
+"""
+
+from __future__ import annotations
+
+from repro.transport.validation import compare_engines, render_comparison
+
+
+def test_engine_agreement(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: compare_engines(seeds=(1, 2, 3)), rounds=1, iterations=1
+    )
+    print()
+    print(render_comparison(comparisons))
+
+    for comparison in comparisons:
+        assert comparison.max_disagreement() <= 3.0
+    # The deterministic scenario is essentially exact.
+    window = next(c for c in comparisons if c.scenario.name == "window-limited")
+    assert window.max_disagreement() <= 1.1

@@ -1,0 +1,47 @@
+"""E1 / Fig. 2 — real-life web-server experiment.
+
+Paper: plain overlay improves 49 % of pairs (mean factor 1.29);
+split-overlay improves 78 % (mean 3.27, median 1.67); 67 % of pairs
+gain >= 25 %.  We assert the same winners and comparable magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.weblab import WeblabConfig, run_weblab
+
+
+def test_fig2_weblab(benchmark, paper_world):
+    result = benchmark.pedantic(
+        lambda: run_weblab(WeblabConfig(seed=13, scale="paper", n_clients=40)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    overlay = result.overlay_summary
+    split = result.split_summary
+
+    # Who wins: split-overlay dominates plain overlay dominates nothing.
+    assert split.fraction_improved > overlay.fraction_improved
+    # Roughly how much: fractions and factors in the paper's ballpark.
+    assert 0.30 <= overlay.fraction_improved <= 0.70  # paper: 0.49
+    assert 0.60 <= split.fraction_improved <= 0.95  # paper: 0.78
+    assert 1.2 <= split.median_factor_improved <= 4.5  # paper: 1.67
+    assert 2.0 <= split.mean_factor_improved <= 15.0  # paper: 3.27 (heavy tail)
+    assert 0.45 <= split.fraction_at_least_25pct <= 0.90  # paper: 0.67
+    # Heavy tail: mean factor well above median factor.
+    assert split.mean_factor_improved > split.median_factor_improved
+
+
+def test_fig2_full_scale_summary(benchmark, weblab_result):
+    """The full 110-client campaign (6,600 observed paths)."""
+    summary = benchmark.pedantic(
+        lambda: (weblab_result.overlay_summary, weblab_result.split_summary),
+        rounds=1,
+        iterations=1,
+    )
+    overlay, split = summary
+    assert weblab_result.total_paths_observed == 6_600  # the paper's count
+    assert split.fraction_improved > overlay.fraction_improved
+    assert split.fraction_improved >= 0.6

@@ -1,0 +1,38 @@
+"""E2 / Fig. 3 — controlled-sender improvement CDFs.
+
+Paper: with cloud senders, plain overlay improves 45 % of pairs;
+split-overlay 74 % (mean 9.26, median 1.66); discrete ≈ split (proxy
+overhead negligible); cloud-sender curves track the Internet-sender
+curves (no bias from hosting senders in the cloud).
+"""
+
+from __future__ import annotations
+
+
+def test_fig3_controlled(benchmark, controlled_campaign, weblab_result):
+    result = benchmark.pedantic(
+        lambda: controlled_campaign.result, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    overlay = result.overlay_summary
+    split = result.split_summary
+    discrete = result.discrete_summary
+
+    # Winners and ordering.
+    assert split.fraction_improved > overlay.fraction_improved
+    assert discrete.fraction_improved >= split.fraction_improved
+
+    # Magnitudes near the paper's.
+    assert 0.30 <= overlay.fraction_improved <= 0.75  # paper: 0.45
+    assert 0.60 <= split.fraction_improved <= 0.95  # paper: 0.74
+    assert split.mean_factor_improved >= 2.0  # paper: 9.26 (heavy tail)
+
+    # Sec. III-B: split ≈ discrete — the proxy costs almost nothing.
+    assert split.mean_factor_improved >= 0.8 * discrete.mean_factor_improved
+
+    # No cloud-sender bias: cloud curves within 0.2 of the Internet
+    # (weblab) curves on the fraction improved.
+    internet_split = weblab_result.split_summary
+    assert abs(split.fraction_improved - internet_split.fraction_improved) <= 0.2

@@ -1,0 +1,31 @@
+"""E3 / Fig. 4 — retransmission-rate CDFs, direct vs best overlay.
+
+Paper: median retransmission rate drops from 2.69e-4 (direct) to
+1.66e-5 (best overlay tunnel) — an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_series
+
+
+def test_fig4_retransmissions(benchmark, controlled_campaign):
+    cdfs = benchmark.pedantic(
+        controlled_campaign.result.retransmission_cdfs, rounds=1, iterations=1
+    )
+    direct_median, overlay_median = controlled_campaign.result.median_retransmission_rates()
+    print()
+    print(f"median retx: direct={direct_median:.3g} overlay={overlay_median:.3g}")
+    print(format_series("fig4/direct", cdfs["direct"].series(15)))
+    print(format_series("fig4/overlay", cdfs["overlay"].series(15)))
+
+    # Overlay cuts the median retransmission rate substantially (the
+    # paper sees 10x; we require at least 2x or both-at-zero).
+    if direct_median > 0:
+        assert overlay_median <= direct_median / 2.0
+    # Direct medians in a plausible band around the paper's 2.69e-4.
+    assert direct_median <= 5e-3
+    # The best-overlay distribution is stochastically smaller across
+    # the upper quantiles too, not just at the median.
+    for q in (0.5, 0.75, 0.9):
+        assert cdfs["overlay"].quantile(q) <= cdfs["direct"].quantile(q) + 1e-12

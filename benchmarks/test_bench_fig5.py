@@ -1,0 +1,27 @@
+"""E4 / Fig. 5 — RTT-ratio CDF (min overlay tunnel RTT / direct RTT).
+
+Paper: the overlay reduces average RTT for 52 % of pairs; for 68 % of
+pairs with direct RTT >= 100 ms; for 90 % of pairs >= 150 ms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_series
+
+
+def test_fig5_rtt_reduction(benchmark, controlled_campaign):
+    fractions = benchmark.pedantic(
+        controlled_campaign.result.rtt_reduction_fractions, rounds=1, iterations=1
+    )
+    cdf = controlled_campaign.result.rtt_ratio_cdf()
+    print()
+    print(f"fraction of pairs with RTT reduced: {fractions}")
+    print(format_series("fig5/rtt-ratio", cdf.series(15)))
+
+    # A substantial fraction of pairs see RTT reduced (paper: 52 %).
+    assert 0.3 <= fractions["all"] <= 0.85
+    # The paper's trend: high-RTT direct paths benefit more often.
+    assert fractions["rtt>=100ms"] >= fractions["all"] - 0.05
+    assert fractions["rtt>=150ms"] >= fractions["all"] - 0.05
+    # And the CDF puts real mass below ratio 1.
+    assert cdf.evaluate(1.0) == fractions["all"]

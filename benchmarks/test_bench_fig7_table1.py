@@ -1,0 +1,39 @@
+"""E6 / Fig. 7 + Table I — how many overlay nodes are needed.
+
+Paper: 70 % of the 30 paths need only 1–2 overlay nodes; Table I's
+mean/median improvement factors flatten after two nodes
+(8.19/7.51 -> 8.36/7.58 -> 8.38/7.58 -> 8.39/7.58).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+
+
+def test_fig7_min_nodes(benchmark, longitudinal_result):
+    distribution = benchmark.pedantic(
+        longitudinal_result.min_nodes_distribution, rounds=1, iterations=1
+    )
+    print()
+    print("Fig. 7 — min overlay nodes per path:", distribution)
+
+    assert all(1 <= n <= 4 for n in distribution)
+    # Paper: one or two nodes suffice for at least 70 % of paths.
+    assert longitudinal_result.fraction_needing_at_most(2) >= 0.7
+
+
+def test_table1_improvement_vs_node_count(benchmark, longitudinal_result):
+    rows = benchmark.pedantic(longitudinal_result.table1, rounds=1, iterations=1)
+    print()
+    print(format_table(["# nodes", "mean improvement", "median improvement"], rows))
+
+    counts = [k for k, _m, _md in rows]
+    means = [m for _k, m, _md in rows]
+    assert counts == [1, 2, 3, 4]
+    # Monotone non-decreasing in node count...
+    assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
+    # ...and flat after two nodes: going 2 -> 4 adds < 5 % (paper: +0.4 %).
+    assert means[3] <= means[1] * 1.05
+    # One node already captures nearly all of the four-node gain
+    # (paper: 8.19 of 8.39 = 97.6 %).
+    assert means[0] >= 0.9 * means[3]

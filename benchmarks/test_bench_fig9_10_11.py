@@ -1,0 +1,49 @@
+"""E8 / Figs. 9–11 — which direct paths gain the most.
+
+Paper: improvement grows with direct RTT (median more than doubles for
+>= 140 ms paths; > 84 % of them improve) and with loss rate; paths
+with zero *observed* loss split into unimproved vs strongly improved
+(RTT-cut polarity); low-throughput paths gain most (nearly every path
+under 10 Mbps improves); 96 % of the >25 %-improved overlay paths are
+router-level *longer* than the direct paths they beat.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.factors import run_factors
+
+
+def test_fig9_10_11_factors(benchmark, controlled_campaign):
+    result = benchmark.pedantic(
+        lambda: run_factors(controlled_campaign), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # ---- Fig. 9: RTT bins --------------------------------------------
+    rtt_bins = result.rtt_bins()
+    populated = [b for b in rtt_bins if b.count >= 5]
+    assert len(populated) >= 3, "need populated RTT bins to compare"
+    # Median improvement grows from the lowest to the highest bins.
+    assert populated[-1].median_ratio > populated[0].median_ratio
+    # Most high-RTT paths improve (paper: > 84 % at >= 140 ms).
+    assert result.fraction_improved_at_rtt(140.0) >= 0.6
+    # The high-RTT bins more than double the median (paper: > 2x).
+    assert populated[-1].median_ratio >= 1.5
+
+    # ---- Fig. 10: loss bins ------------------------------------------
+    loss_bins = [b for b in result.loss_bins() if b.count >= 5]
+    if len(loss_bins) >= 2:
+        # Lossier direct paths improve at least as often as clean ones.
+        assert loss_bins[-1].fraction_improved >= loss_bins[0].fraction_improved - 0.15
+
+    # ---- Fig. 11: low-throughput paths gain most ----------------------
+    assert result.fraction_improved_below_10mbps() >= 0.75  # paper: ~all
+    slow_points = [inc for mbps, inc in result.scatter() if mbps < 10.0]
+    fast_points = [inc for mbps, inc in result.scatter() if mbps >= 30.0]
+    if slow_points and fast_points:
+        assert max(slow_points) > max(fast_points)
+
+    # ---- Hop counts ----------------------------------------------------
+    # Improved overlay paths are longer (paper: 96 %).
+    assert result.longer_hop_fraction_among_improved() >= 0.7

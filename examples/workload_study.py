@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A day in the life of a branch office, with and without CRONets.
+
+Sec. II-B notes loss and RTT matter as much as throughput "for many
+applications such as video conferencing, and online gaming."  This
+example simulates one office day — heavy-tailed bulk transfers plus
+interactive sessions clustered in business hours — and scores both
+application classes on the direct path vs the best overlay path at
+each session's time of day.
+
+Run:  python examples/workload_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_world
+from repro.core.pathset import PathType
+from repro.experiments.workloads import (
+    BulkTransferModel,
+    InteractiveQualityModel,
+    OfficeWorkload,
+)
+from repro.units import transfer_time_seconds
+
+
+def main() -> None:
+    world = build_world(seed=33, scale="small")
+    cronet = world.cronet()
+
+    office = world.client_names()[2]  # the branch office endpoint
+    datacenter = world.server_names[0]  # HQ's file server
+    pathset = cronet.path_set(datacenter, office)
+    print(f"office {office} <-> server {datacenter}, "
+          f"{len(pathset.options)} overlay nodes\n")
+
+    rng = np.random.default_rng(5)
+    workload = OfficeWorkload(
+        bulk=BulkTransferModel(median_bytes=50_000_000),
+        bulk_transfers_per_day=10,
+        interactive_sessions_per_day=8,
+    )
+    quality = InteractiveQualityModel()
+
+    # ----- bulk transfers: total transfer time over the day ------------
+    sizes = workload.bulk.sample_sizes(rng, workload.bulk_transfers_per_day)
+    direct_time = overlay_time = 0.0
+    for i, size in enumerate(sizes):
+        at = (8 + i) * 3_600.0  # hourly syncs through the workday
+        direct_rate = pathset.direct_connection().throughput_at(at)
+        _, overlay_rate = pathset.best_overlay(PathType.SPLIT_OVERLAY, at)
+        direct_time += transfer_time_seconds(size, direct_rate)
+        overlay_time += transfer_time_seconds(size, overlay_rate)
+    total_gb = sum(sizes) / 1e9
+    print(f"bulk: {len(sizes)} transfers, {total_gb:.1f} GB total")
+    print(f"  direct paths:  {direct_time / 60:6.1f} min")
+    print(f"  CRONet paths:  {overlay_time / 60:6.1f} min "
+          f"({direct_time / overlay_time:.1f}x faster)\n")
+
+    # ----- interactive sessions: quality scores ------------------------
+    session_times = workload.session_times(rng)
+    direct_scores, overlay_scores = [], []
+    for at in session_times:
+        direct_scores.append(quality.score(pathset.direct.metrics(at)))
+        best = max(
+            quality.score(option.concatenated.metrics(at))
+            for option in pathset.options
+        )
+        overlay_scores.append(best)
+    print(f"interactive: {len(session_times)} sessions")
+    print(f"  direct:  mean quality {np.mean(direct_scores):5.1f} / 100, "
+          f"usable {sum(s >= 60 for s in direct_scores)}/{len(direct_scores)}")
+    print(f"  CRONet:  mean quality {np.mean(overlay_scores):5.1f} / 100, "
+          f"usable {sum(s >= 60 for s in overlay_scores)}/{len(overlay_scores)}")
+
+    # ----- the bill -----------------------------------------------------
+    print(f"\nmonthly CRONet bill: ${cronet.monthly_cost_usd():.0f} "
+          f"({len(cronet.nodes)} nodes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs (which require ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+use the classic ``setup.py develop`` path.  Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

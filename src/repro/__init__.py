@@ -1,0 +1,46 @@
+"""CRONets: Cloud-Routed Overlay Networks — full reproduction.
+
+Public API surface.  The typical flow:
+
+>>> from repro import build_world, CRONet
+>>> world = build_world(seed=7, scale="small")
+>>> cronet = CRONet.build(world.internet, world.cloud, dc_names=["dallas", "amsterdam"])
+>>> paths = cronet.path_set("client-0", "server-0")
+>>> report = paths.measure(world.internet.now)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import ReproError
+from repro.rand import RandomStreams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "RandomStreams",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily re-export the heavyweight API so ``import repro`` stays fast."""
+    lazy = {
+        "Internet": ("repro.net", "Internet"),
+        "Topology": ("repro.net", "Topology"),
+        "TopologyConfig": ("repro.net", "TopologyConfig"),
+        "generate_topology": ("repro.net", "generate_topology"),
+        "CloudProvider": ("repro.cloud", "CloudProvider"),
+        "CRONet": ("repro.core", "CRONet"),
+        "PathSet": ("repro.core", "PathSet"),
+        "MptcpSelector": ("repro.core", "MptcpSelector"),
+        "ProbingSelector": ("repro.core", "ProbingSelector"),
+        "build_world": ("repro.experiments.scenario", "build_world"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attr = lazy[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

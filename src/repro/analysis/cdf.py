@@ -1,0 +1,72 @@
+"""Empirical cumulative distribution functions.
+
+Most of the paper's figures are CDFs; this class supplies evaluation,
+quantiles, exceedance fractions and printable series for the benchmark
+harness to render.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+class EmpiricalCDF:
+    """The empirical CDF of a finite sample."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        data = sorted(float(v) for v in values)
+        if not data:
+            raise AnalysisError("cannot build a CDF from an empty sample")
+        if any(np.isnan(v) for v in data):
+            raise AnalysisError("sample contains NaN")
+        self._values = data
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """The sorted sample."""
+        return list(self._values)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x) — e.g. 'fraction of pairs with ratio > 1'."""
+        return 1.0 - self.evaluate(x)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 < q <= 1), inverse of :meth:`evaluate`."""
+        if not 0.0 < q <= 1.0:
+            raise AnalysisError(f"quantile must be in (0, 1], got {q}")
+        index = min(int(np.ceil(q * len(self._values))) - 1, len(self._values) - 1)
+        return self._values[max(index, 0)]
+
+    @property
+    def median(self) -> float:
+        """The 0.5-quantile."""
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(np.mean(self._values))
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs at evenly spaced sample ranks, for printing."""
+        if points <= 0:
+            raise AnalysisError(f"points must be positive, got {points}")
+        n = len(self._values)
+        out: list[tuple[float, float]] = []
+        for k in range(points):
+            rank = min(int(round((k + 1) / points * n)) - 1, n - 1)
+            rank = max(rank, 0)
+            out.append((self._values[rank], (rank + 1) / n))
+        return out

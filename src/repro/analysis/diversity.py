@@ -1,0 +1,70 @@
+"""Path diversity (Sec. V-A).
+
+``diversity_score = 1 - common_routers / routers_on_direct_path`` —
+how different an overlay path is from the direct path it competes
+with.  The paper also locates the *common* routers along the direct
+path (split into three equal-length segments) and finds 87% of them in
+the two end segments: the overlay diverges exactly where the
+bottlenecks are, in the middle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.net.path import RouterPath
+from repro.net.world import HOST_ID_BASE
+
+
+def _routers_only(path: RouterPath) -> set[int]:
+    """The path's *router* ids — traceroute hops, excluding the hosts."""
+    return {rid for rid in path.router_ids if rid < HOST_ID_BASE}
+
+
+def diversity_score(direct: RouterPath, overlay: RouterPath) -> float:
+    """1 minus the fraction of the direct path's routers reused.
+
+    Endpoints (hosts) are not routers and are excluded on both sides —
+    they are trivially common to every overlay alternative.
+    """
+    direct_routers = _routers_only(direct)
+    if not direct_routers:
+        raise AnalysisError("direct path has no routers")
+    common = direct_routers & _routers_only(overlay)
+    return 1.0 - len(common) / len(direct_routers)
+
+
+def segment_location_shares(
+    direct: RouterPath, overlay: RouterPath
+) -> tuple[float, float, float]:
+    """Fraction of common routers in each third of the direct path.
+
+    Returns (first-segment, middle, last-segment) shares summing to 1;
+    (0, 0, 0) when the paths share no routers.
+    """
+    direct_routers = [rid for rid in direct.router_ids if rid < HOST_ID_BASE]
+    common = set(direct_routers) & _routers_only(overlay)
+    if not common:
+        return (0.0, 0.0, 0.0)
+    n = len(direct_routers)
+    counts = [0, 0, 0]
+    for position, router_id in enumerate(direct_routers):
+        if router_id not in common:
+            continue
+        segment = min(position * 3 // n, 2)
+        counts[segment] += 1
+    total = sum(counts)
+    return (counts[0] / total, counts[1] / total, counts[2] / total)
+
+
+def end_segment_share(shares: Sequence[tuple[float, float, float]]) -> float:
+    """Average share of common routers in the two *end* segments.
+
+    This is the paper's "87% averaged across all paths" statistic.
+    Paths with no common routers contribute nothing.
+    """
+    meaningful = [s for s in shares if sum(s) > 0]
+    if not meaningful:
+        raise AnalysisError("no paths with common routers")
+    return sum(s[0] + s[2] for s in meaningful) / len(meaningful)

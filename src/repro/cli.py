@@ -1,0 +1,222 @@
+"""Command-line interface: run any paper experiment from a shell.
+
+Usage examples::
+
+    python -m repro list
+    python -m repro world --seed 7 --scale small
+    python -m repro run fig2 --seed 7 --scale small
+    python -m repro run fig12 --seed 7 --out /tmp/fig12.json
+    python -m repro run all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+#: Experiment id -> one-line description (keep in sync with DESIGN.md §4).
+EXPERIMENTS: dict[str, str] = {
+    "fig2": "E1 — web-server campaign improvement CDFs",
+    "fig3-5": "E2–E4 — controlled senders: CDFs, retransmissions, RTT",
+    "fig6-7": "E5–E6 — week-long persistency, node counts, Table I",
+    "fig8": "E7 — path diversity scores",
+    "fig9-11": "E8 — RTT/loss/throughput factor analysis",
+    "c45": "E9 — C4.5 threshold extraction",
+    "fig12": "E10 — MPTCP with OLIA vs overlay paths",
+    "fig13": "E11 — MPTCP with uncoupled Cubic",
+    "cost": "E12 — overlay vs leased-line economics",
+    "placement": "extension — greedy overlay placement planning",
+    "multihop": "extension — one-hop vs two-hop overlay paths",
+    "availability": "extension — availability under injected link failures",
+    "multicloud": "extension — one cloud provider vs two for the same node budget",
+    "selection": "extension — probing vs MPTCP selection regret over a day",
+    "engines": "validation — model vs fluid vs packet-level transport engines",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CRONets (ICDCS 2016) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    world = sub.add_parser("world", help="build a world and print its summary")
+    _add_common(world)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    _add_common(run)
+    run.add_argument("--out", help="also dump the result as JSON to this path")
+
+    report = sub.add_parser("report", help="regenerate the whole paper as Markdown")
+    _add_common(report)
+    report.add_argument("--out", default="report.md", help="output path (.md)")
+    report.add_argument(
+        "--mptcp", action="store_true", help="include the (slow) MPTCP sections"
+    )
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--scale", choices=["small", "paper"], default="small",
+        help="small runs in seconds; paper matches the study's sampling plan",
+    )
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, description in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario import build_world
+
+    world = build_world(seed=args.seed, scale=args.scale)
+    internet = world.internet
+    print(f"seed {args.seed}, scale {args.scale!r}")
+    print(f"  ASes:    {len(internet.topology.ases)}")
+    print(f"  routers: {len(internet.routers)}")
+    print(f"  links:   {len(internet.links_by_id)}")
+    print(f"  clients: {len(world.client_names())}  servers: {len(world.server_names)}")
+    print(f"  DCs:     {', '.join(world.dc_cities)}")
+    return 0
+
+
+def _run_one(name: str, args: argparse.Namespace):
+    """Run one experiment; returns the result object."""
+    seed, scale = args.seed, args.scale
+
+    if name == "fig2":
+        from repro.experiments.weblab import WeblabConfig, run_weblab
+
+        return run_weblab(WeblabConfig(seed=seed, scale=scale))
+
+    if name in ("fig3-5", "fig6-7", "fig8", "fig9-11", "c45"):
+        from repro.experiments.controlled import ControlledConfig, run_controlled
+
+        campaign = run_controlled(ControlledConfig(seed=seed, scale=scale))
+        if name == "fig3-5":
+            return campaign.result
+        if name == "fig6-7":
+            from repro.experiments.longitudinal import run_longitudinal
+
+            top_n = 30 if scale == "paper" else 8
+            samples = 50 if scale == "paper" else 10
+            return run_longitudinal(campaign, top_n=top_n, samples=samples)
+        if name == "fig8":
+            from repro.experiments.diversity_exp import run_diversity
+
+            return run_diversity(campaign)
+        if name == "fig9-11":
+            from repro.experiments.factors import run_factors
+
+            return run_factors(campaign)
+        from repro.experiments.classify import run_classify
+
+        return run_classify(campaign)
+
+    if name in ("fig12", "fig13"):
+        from repro.experiments.mptcp_exp import MptcpExpConfig, run_mptcp_experiment
+        from repro.transport.mptcp import MptcpScheme
+
+        scheme = MptcpScheme.OLIA if name == "fig12" else MptcpScheme.UNCOUPLED_CUBIC
+        if scale == "paper":
+            config = MptcpExpConfig(seed=seed, scheme=scheme)
+        else:
+            config = MptcpExpConfig(
+                seed=seed, scheme=scheme, n_paths=4, iterations=2, duration_s=15.0,
+                tick_s=0.02,
+            )
+        return run_mptcp_experiment(config)
+
+    if name == "cost":
+        from repro.experiments.cost import run_cost
+        from repro.experiments.weblab import WeblabConfig, run_weblab
+
+        return run_cost(run_weblab(WeblabConfig(seed=seed, scale=scale)))
+
+    if name == "placement":
+        from repro.experiments.placement_exp import run_placement
+
+        return run_placement(seed=seed, scale=scale)
+
+    if name == "availability":
+        from repro.experiments.availability import AvailabilityConfig, run_availability
+
+        return run_availability(AvailabilityConfig(seed=seed, scale=scale))
+
+    if name == "multicloud":
+        from repro.experiments.multicloud import run_multicloud
+
+        return run_multicloud(seed=seed, scale=scale)
+
+    if name == "selection":
+        from repro.experiments.selection_exp import run_selection
+
+        return run_selection(seed=seed, scale=scale)
+
+    if name == "engines":
+        from repro.transport.validation import compare_engines, render_comparison
+
+        class _EngineReport:
+            def __init__(self) -> None:
+                self.comparisons = compare_engines()
+
+            def render(self) -> str:
+                return render_comparison(self.comparisons)
+
+        return _EngineReport()
+
+    from repro.experiments.multihop_exp import run_multihop
+
+    return run_multihop(seed=seed, scale=scale)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name}: {EXPERIMENTS[name]} ===")
+        result = _run_one(name, args)
+        print(result.render())
+        print()
+        if args.out:
+            from repro.io import dump_json
+
+            suffix = f".{name}" if args.experiment == "all" else ""
+            target = dump_json(result, args.out + suffix)
+            print(f"[written {target}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "world":
+            return _cmd_world(args)
+        if args.command == "report":
+            from repro.report import write_report
+
+            target = write_report(
+                args.out, seed=args.seed, scale=args.scale, include_mptcp=args.mptcp
+            )
+            print(f"report written to {target}")
+            return 0
+        return _cmd_run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

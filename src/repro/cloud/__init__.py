@@ -1,0 +1,30 @@
+"""The cloud provider substrate (an IBM-Softlayer-like provider).
+
+Models the four trends CRONets leverages (Sec. I):
+
+1. global footprint — data centers at many cities,
+2. a well-provisioned private inter-DC backbone,
+3. aggressive peering with diverse ISPs at IXPs,
+4. cheap rentable VMs with 100 Mbps virtual NICs (~$20/month).
+"""
+
+from repro.cloud.datacenter import DataCenter, PortSpeed
+from repro.cloud.provider import CloudProvider
+from repro.cloud.vm import VirtualServer
+from repro.cloud.pricing import (
+    PricingModel,
+    TrafficTier,
+    leased_line_monthly_usd,
+    overlay_vs_leased_line,
+)
+
+__all__ = [
+    "DataCenter",
+    "PortSpeed",
+    "CloudProvider",
+    "VirtualServer",
+    "PricingModel",
+    "TrafficTier",
+    "leased_line_monthly_usd",
+    "overlay_vs_leased_line",
+]

@@ -1,0 +1,40 @@
+"""CRONets core: build-your-own overlay from cloud VMs.
+
+The user-facing API of the reproduction:
+
+* :class:`~repro.core.cronet.CRONet` — rent overlay nodes from a cloud
+  provider and get path sets between arbitrary endpoints,
+* :class:`~repro.core.pathset.PathSet` — the direct path plus one
+  overlay option per node, measurable in all four of the paper's modes
+  (direct / overlay / split-overlay / discrete),
+* :class:`~repro.core.selection.MptcpSelector` — the paper's novel
+  MPTCP-based automatic path selection (Sec. VI), with a classic
+  probing selector as the baseline it replaces,
+* :mod:`~repro.core.placement` — how many overlay nodes are needed
+  (Sec. IV, Fig. 7 / Table I).
+"""
+
+from repro.core.cronet import CRONet
+from repro.core.pathset import OverlayPathOption, PathSet, PathType
+from repro.core.measure_plan import FourWayMeasurement, measure_four_ways
+from repro.core.selection import MptcpSelector, ProbingSelector, SelectionResult
+from repro.core.placement import (
+    improvement_vs_node_count,
+    min_nodes_for_max_throughput,
+)
+from repro.core.proxy import MptcpProxyPair
+
+__all__ = [
+    "CRONet",
+    "OverlayPathOption",
+    "PathSet",
+    "PathType",
+    "FourWayMeasurement",
+    "measure_four_ways",
+    "MptcpSelector",
+    "ProbingSelector",
+    "SelectionResult",
+    "improvement_vs_node_count",
+    "min_nodes_for_max_throughput",
+    "MptcpProxyPair",
+]

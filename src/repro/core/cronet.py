@@ -1,0 +1,72 @@
+"""CRONet: a user-built overlay on rented cloud nodes.
+
+The deployment story of Sec. I: a user (startup, branch office, remote
+worker) rents VMs at a few of the provider's data centers, runs the
+relay software on them, and immediately has N+1 candidate paths to any
+destination — no ISP support required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.datacenter import PortSpeed
+from repro.cloud.provider import CloudProvider
+from repro.core.pathset import PathSet
+from repro.errors import ConfigError
+from repro.net.world import Internet
+from repro.tunnel.node import NodeMode, OverlayNode
+
+
+@dataclass
+class CRONet:
+    """An overlay network built from cloud VMs."""
+
+    internet: Internet
+    provider: CloudProvider
+    nodes: list[OverlayNode] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        internet: Internet,
+        provider: CloudProvider,
+        dc_names: list[str],
+        port_speed: PortSpeed = PortSpeed.MBPS_100,
+        mode: NodeMode = NodeMode.FORWARD,
+    ) -> "CRONet":
+        """Rent one VM per data center and configure it as a relay."""
+        if not dc_names:
+            raise ConfigError("a CRONet needs at least one overlay node")
+        if len(set(dc_names)) != len(dc_names):
+            raise ConfigError(f"duplicate data centers in {dc_names}")
+        overlay = cls(internet=internet, provider=provider)
+        for dc_name in dc_names:
+            server = provider.rent_vm(internet, dc_name, port_speed=port_speed)
+            overlay.nodes.append(OverlayNode(host=server.host, mode=mode))
+        return overlay
+
+    @property
+    def node_names(self) -> list[str]:
+        """Names of the overlay nodes, in deployment order."""
+        return [node.name for node in self.nodes]
+
+    def node(self, name: str) -> OverlayNode:
+        """Look up an overlay node by name."""
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise ConfigError(f"no overlay node named {name!r}; have {self.node_names}")
+
+    def subset(self, names: list[str]) -> "CRONet":
+        """A view restricted to some nodes (placement experiments)."""
+        picked = [self.node(name) for name in names]
+        return CRONet(internet=self.internet, provider=self.provider, nodes=picked)
+
+    def path_set(self, src_name: str, dst_name: str) -> PathSet:
+        """Direct + per-node overlay paths for a sender/receiver pair."""
+        return PathSet.build(self.internet, src_name, dst_name, self.nodes)
+
+    def monthly_cost_usd(self) -> float:
+        """What this overlay costs per month (the provider's bill)."""
+        return self.provider.monthly_bill_usd()

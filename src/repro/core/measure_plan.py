@@ -1,0 +1,98 @@
+"""The four-way measurement plan of Sec. II.
+
+For each (sender, receiver) pair the paper measures Direct, Overlay,
+Split-Overlay and Discrete-Overlay.  ``measure_four_ways`` runs all
+four against a :class:`~repro.core.pathset.PathSet` and reports the
+flow statistics the downstream analyses (Figs. 2–5) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pathset import OverlayPathOption, PathSet
+from repro.errors import MeasurementError
+from repro.transport.throughput import FlowStats
+
+
+@dataclass(frozen=True, slots=True)
+class FourWayMeasurement:
+    """One pair's measurements across the four path types.
+
+    Per-overlay-node dictionaries are keyed by node name.  ``discrete``
+    holds the min-of-segments upper bound in Mbps (it is a derived
+    bound, not a transfer, so it has no FlowStats).
+    """
+
+    src_name: str
+    dst_name: str
+    at_time: float
+    direct: FlowStats
+    overlay: dict[str, FlowStats]
+    split_overlay: dict[str, FlowStats]
+    discrete_mbps: dict[str, float]
+
+    def best_overlay_mbps(self) -> float:
+        """Max plain-overlay throughput across nodes."""
+        return max(stats.throughput_mbps for stats in self.overlay.values())
+
+    def best_split_mbps(self) -> float:
+        """Max split-overlay throughput across nodes."""
+        return max(stats.throughput_mbps for stats in self.split_overlay.values())
+
+    def best_discrete_mbps(self) -> float:
+        """Max discrete-overlay bound across nodes."""
+        return max(self.discrete_mbps.values())
+
+    def improvement_ratio(self, overlay_mbps: float) -> float:
+        """Overlay-to-direct throughput ratio (Figs. 2 and 3's x-axis)."""
+        if self.direct.throughput_mbps <= 0:
+            raise MeasurementError(
+                f"direct path {self.src_name}->{self.dst_name} reported zero throughput"
+            )
+        return overlay_mbps / self.direct.throughput_mbps
+
+    def min_overlay_retransmission_rate(self) -> float:
+        """Lowest retx rate across overlay tunnels (Fig. 4's per-pair stat)."""
+        return min(stats.retransmission_rate for stats in self.overlay.values())
+
+    def min_overlay_rtt_ms(self) -> float:
+        """Lowest average RTT across overlay tunnels (Fig. 5's numerator)."""
+        return min(stats.avg_rtt_ms for stats in self.overlay.values())
+
+
+def measure_four_ways(
+    pathset: PathSet, at_time: float, duration_s: float = 30.0
+) -> FourWayMeasurement:
+    """Measure one pair in all four modes at one instant."""
+    if not pathset.options:
+        raise MeasurementError(
+            f"pair {pathset.src_name}->{pathset.dst_name} has no overlay options"
+        )
+    direct = pathset.direct_connection().run(at_time, duration_s)
+    overlay: dict[str, FlowStats] = {}
+    split: dict[str, FlowStats] = {}
+    discrete: dict[str, float] = {}
+    for option in pathset.options:
+        overlay[option.name] = pathset.overlay_connection(option).run(at_time, duration_s)
+        chain = pathset.split_chain(option)
+        split[option.name] = chain.run(at_time, duration_s)
+        discrete[option.name] = chain.discrete_bound_at(at_time + duration_s / 2)
+    return FourWayMeasurement(
+        src_name=pathset.src_name,
+        dst_name=pathset.dst_name,
+        at_time=at_time,
+        direct=direct,
+        overlay=overlay,
+        split_overlay=split,
+        discrete_mbps=discrete,
+    )
+
+
+def measure_option(
+    pathset: PathSet, option: OverlayPathOption, at_time: float, duration_s: float = 30.0
+) -> tuple[FlowStats, FlowStats]:
+    """Measure one overlay option in both overlay modes (tunnel, split)."""
+    tunnel_stats = pathset.overlay_connection(option).run(at_time, duration_s)
+    split_stats = pathset.split_chain(option).run(at_time, duration_s)
+    return tunnel_stats, split_stats

@@ -1,0 +1,180 @@
+"""Path sets: the direct path plus every one-hop overlay option.
+
+Mirrors Sec. II's measurement design.  For a sender/receiver pair
+(A, B) and overlay nodes O₁..Oₙ, a :class:`PathSet` exposes:
+
+* the **direct** path A→B (what BGP gives you),
+* per node, the **overlay** path A→Oᵢ→B as one tunneled end-to-end TCP
+  connection (encapsulation shrinks the MSS; the relay shaves a little
+  throughput),
+* the **split-overlay** variant where Oᵢ terminates TCP (per-segment
+  congestion control — the Mathis RTT lever),
+* the **discrete** bound: min of the two segments measured separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.net.path import RouterPath
+from repro.net.world import Internet
+from repro.transport.split import SplitTcpChain
+from repro.transport.tcp import TcpConnection
+from repro.transport.throughput import TcpParams
+from repro.tunnel.node import NodeMode, OverlayNode, SPLIT_EFFICIENCY
+from repro.units import DEFAULT_MSS
+
+
+class PathType(enum.Enum):
+    """The four measurement modes of Sec. II."""
+
+    DIRECT = "direct"
+    OVERLAY = "overlay"
+    SPLIT_OVERLAY = "split_overlay"
+    DISCRETE_OVERLAY = "discrete_overlay"
+
+
+@dataclass(frozen=True)
+class OverlayPathOption:
+    """One overlay node's path option between a fixed (A, B) pair."""
+
+    node: OverlayNode
+    leg_to_node: RouterPath  # A -> O
+    leg_from_node: RouterPath  # O -> B
+
+    @property
+    def name(self) -> str:
+        """The overlay node's name."""
+        return self.node.name
+
+    @property
+    def concatenated(self) -> RouterPath:
+        """The A→O→B router-level path (the tunnel overlay's view)."""
+        return self.leg_to_node.concatenate(self.leg_from_node)
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """Direct + overlay path options between one sender/receiver pair."""
+
+    internet: Internet
+    src_name: str
+    dst_name: str
+    direct: RouterPath
+    options: tuple[OverlayPathOption, ...]
+
+    @classmethod
+    def build(
+        cls,
+        internet: Internet,
+        src_name: str,
+        dst_name: str,
+        nodes: list[OverlayNode],
+    ) -> "PathSet":
+        """Resolve the direct path and both legs of every overlay option.
+
+        Each overlay node establishes a tunnel toward the CRONets user
+        (the receiver for a download); the sender side needs nothing —
+        its return traffic rides the node's NAT.
+        """
+        direct = internet.resolve_path(src_name, dst_name)
+        options = []
+        for node in nodes:
+            if node.host.name in (src_name, dst_name):
+                raise ConfigError(
+                    f"overlay node {node.name} cannot be an endpoint of the pair"
+                )
+            node.establish_tunnel(dst_name)
+            options.append(
+                OverlayPathOption(
+                    node=node,
+                    leg_to_node=internet.resolve_path(src_name, node.host.name),
+                    leg_from_node=internet.resolve_path(node.host.name, dst_name),
+                )
+            )
+        return cls(
+            internet=internet,
+            src_name=src_name,
+            dst_name=dst_name,
+            direct=direct,
+            options=tuple(options),
+        )
+
+    # ------------------------------------------------------------------
+    # connection factories per measurement mode
+    # ------------------------------------------------------------------
+    def _receiver_params(self) -> TcpParams:
+        """Base TCP parameters for this pair (receiver-window bound)."""
+        return TcpParams(
+            mss_bytes=DEFAULT_MSS,
+            rwnd_bytes=self.internet.host(self.dst_name).rwnd_bytes,
+        )
+
+    def direct_connection(self) -> TcpConnection:
+        """Single-path TCP over the default Internet route."""
+        return TcpConnection(self.direct, self._receiver_params())
+
+    def overlay_connection(self, option: OverlayPathOption) -> TcpConnection:
+        """End-to-end TCP through the tunnel (plain overlay mode).
+
+        The tunnel's encapsulation reduces the MSS; the node's
+        forwarding efficiency shaves the rate.
+        """
+        tunnel = option.node.tunnel_for(self.dst_name)
+        forwarder = option.node.with_mode(NodeMode.FORWARD)
+        params = self._receiver_params().with_mss(tunnel.inner_mss_bytes)
+        params = params.with_efficiency(forwarder.relay_efficiency)
+        return TcpConnection(option.concatenated, params)
+
+    def split_chain(self, option: OverlayPathOption) -> SplitTcpChain:
+        """Split-TCP through the node (split-overlay mode).
+
+        Only the client-side segment rides the tunnel (reduced MSS);
+        the proxy-to-server segment is plain TCP — split mode requires
+        cleartext TCP headers (Sec. II-A), so there is no IPsec on that
+        side by construction.
+        """
+        tunnel = option.node.tunnel_for(self.dst_name)
+        params = self._receiver_params().with_mss(tunnel.inner_mss_bytes)
+        return SplitTcpChain(
+            segments=(option.leg_to_node, option.leg_from_node),
+            params=params,
+            proxy_efficiency=SPLIT_EFFICIENCY,
+        )
+
+    # ------------------------------------------------------------------
+    # instantaneous throughput per mode
+    # ------------------------------------------------------------------
+    def throughput(self, path_type: PathType, at_time: float) -> dict[str, float]:
+        """Instantaneous throughput (Mbps) per overlay node for a mode.
+
+        For ``PathType.DIRECT`` the single entry is keyed ``"direct"``.
+        """
+        if path_type is PathType.DIRECT:
+            return {"direct": self.direct_connection().throughput_at(at_time)}
+        result: dict[str, float] = {}
+        for option in self.options:
+            if path_type is PathType.OVERLAY:
+                value = self.overlay_connection(option).throughput_at(at_time)
+            elif path_type is PathType.SPLIT_OVERLAY:
+                value = self.split_chain(option).throughput_at(at_time)
+            else:
+                value = self.split_chain(option).discrete_bound_at(at_time)
+            result[option.name] = value
+        return result
+
+    def best_overlay(self, path_type: PathType, at_time: float) -> tuple[str, float]:
+        """(node name, Mbps) of the best overlay option for a mode."""
+        if path_type is PathType.DIRECT:
+            raise ConfigError("best_overlay needs an overlay path type")
+        if not self.options:
+            raise ConfigError(f"pair {self.src_name}->{self.dst_name} has no overlay options")
+        per_node = self.throughput(path_type, at_time)
+        name = max(sorted(per_node), key=lambda n: per_node[n])
+        return name, per_node[name]
+
+    def all_candidate_paths(self) -> list[RouterPath]:
+        """Direct + every concatenated overlay path (for MPTCP N+1)."""
+        return [self.direct] + [option.concatenated for option in self.options]

@@ -1,0 +1,69 @@
+"""MPTCP proxy pairs (Sec. VI-A deployment model).
+
+Two MPTCP proxies — one per site — map end-user TCP connections onto
+one MPTCP connection with N+1 subflows: the direct path plus one
+reflected off each overlay node.  End users and applications see plain
+TCP; failures and path dynamics are absorbed by the proxies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.path import RouterPath
+from repro.net.world import Internet
+from repro.transport.mptcp import MptcpConnection, MptcpScheme, MptcpStats
+from repro.tunnel.node import OverlayNode
+
+
+@dataclass(frozen=True)
+class MptcpProxyPair:
+    """Proxies at ``site_a`` and ``site_b`` joined by N+1 subflows."""
+
+    internet: Internet
+    site_a: str
+    site_b: str
+    nodes: tuple[OverlayNode, ...]
+    scheme: MptcpScheme = MptcpScheme.OLIA
+    rwnd_bytes: int = 4_194_304
+
+    def __post_init__(self) -> None:
+        if self.site_a == self.site_b:
+            raise ConfigError("proxy pair needs two distinct sites")
+
+    def subflow_paths(self) -> list[RouterPath]:
+        """Direct path first, then one reflected path per overlay node."""
+        paths = [self.internet.resolve_path(self.site_a, self.site_b)]
+        for node in self.nodes:
+            leg1 = self.internet.resolve_path(self.site_a, node.host.name)
+            leg2 = self.internet.resolve_path(node.host.name, self.site_b)
+            paths.append(leg1.concatenate(leg2))
+        return paths
+
+    def connection(self) -> MptcpConnection:
+        """The MPTCP connection carrying the inter-site tunnel."""
+        labels = ["direct"] + [f"via {node.name}" for node in self.nodes]
+        return MptcpConnection(
+            self.subflow_paths(),
+            scheme=self.scheme,
+            rwnd_bytes=self.rwnd_bytes,
+            labels=labels,
+        )
+
+    def transfer(
+        self,
+        at_time: float,
+        duration_s: float,
+        rng: np.random.Generator,
+        on_tick=None,
+    ) -> MptcpStats:
+        """Move data between the sites for ``duration_s``."""
+        return self.connection().run(at_time, duration_s, rng, on_tick=on_tick)
+
+    @property
+    def subflow_count(self) -> int:
+        """N + 1: the direct path plus one per overlay node."""
+        return len(self.nodes) + 1

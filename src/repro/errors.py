@@ -1,0 +1,65 @@
+"""Exception hierarchy for the CRONets reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type.  Subsystems raise the most specific subclass
+that applies; error messages carry enough context (ids, names, values)
+to diagnose a failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A builder or experiment was configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """The AS/router topology is malformed or a node is unknown."""
+
+
+class RoutingError(ReproError):
+    """No policy-compliant route exists between two endpoints."""
+
+
+class LinkError(ReproError):
+    """A link was used outside its valid operating range."""
+
+
+class CloudError(ReproError):
+    """Cloud-provider operations failed (unknown DC, no capacity...)."""
+
+
+class BillingError(CloudError):
+    """Pricing/billing inputs were invalid (negative volume, unknown tier)."""
+
+
+class TunnelError(ReproError):
+    """Tunnel establishment or encapsulation failed."""
+
+
+class NatError(TunnelError):
+    """NAT translation failed (unknown mapping, exhausted ports)."""
+
+
+class TransportError(ReproError):
+    """Transport-layer simulation failed (bad window, negative RTT...)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement tool was invoked on an unusable path or endpoint."""
+
+
+class AnalysisError(ReproError):
+    """Analysis-layer failure (empty samples, degenerate training set)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver could not complete."""
+
+
+class PlanetLabError(ReproError):
+    """PlanetLab client population errors (cap exceeded, unknown site)."""

@@ -1,0 +1,123 @@
+"""E9 — C4.5 threshold extraction (end of Sec. V-B).
+
+The paper trains C4.5 on combined RTT/loss changes and reports that an
+overlay path which cuts RTT by >= 10.5 % *and* loss by >= 12.1 % has a
+high likelihood of improving throughput.  We build the same training
+set from the controlled campaign — one example per (pair, overlay
+node): features are the overlay's relative RTT and loss reductions,
+the label is whether its throughput beat the direct path — fit our
+C4.5, and read the thresholds off the positive rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.c45 import C45Tree, DecisionRule
+from repro.errors import ExperimentError
+from repro.experiments.controlled import ControlledCampaign
+
+FEATURES = ("rtt_reduction", "loss_reduction")
+
+
+@dataclass
+class ClassifyResult:
+    """The fitted tree, its accuracy, and the extracted thresholds."""
+
+    tree: C45Tree
+    accuracy: float
+    examples: int
+    positive_rules: list[DecisionRule]
+
+    def combined_thresholds(self) -> dict[str, float] | None:
+        """The (rtt, loss) reduction thresholds of the dominant
+        both-features-positive rule, or None if no such rule exists.
+
+        Chooses the highest-support positive rule that lower-bounds
+        *both* reductions — the analogue of the paper's 10.5 %/12.1 %.
+        """
+        best: tuple[int, dict[str, float]] | None = None
+        for rule in self.positive_rules:
+            bounds = rule.lower_bounds()
+            if set(bounds) == set(FEATURES):
+                if best is None or rule.support > best[0]:
+                    best = (rule.support, bounds)
+        if best is None:
+            return None
+        return best[1]
+
+    def single_thresholds(self) -> dict[str, float]:
+        """Per-feature smallest '>' threshold over all positive rules."""
+        out: dict[str, float] = {}
+        for rule in self.positive_rules:
+            for feature, bound in rule.lower_bounds().items():
+                if math.isfinite(bound):
+                    out[feature] = min(out.get(feature, math.inf), bound)
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"C4.5 — {self.examples} examples, accuracy {self.accuracy:.1%}, "
+            f"tree depth {self.tree.depth()}, {len(self.positive_rules)} positive rules"
+        ]
+        combined = self.combined_thresholds()
+        if combined:
+            lines.append(
+                "combined rule: improve likely when "
+                f"rtt_reduction > {combined['rtt_reduction']:.1%} and "
+                f"loss_reduction > {combined['loss_reduction']:.1%}"
+            )
+        for feature, bound in sorted(self.single_thresholds().items()):
+            lines.append(f"weakest positive bound on {feature}: > {bound:.1%}")
+        for rule in self.positive_rules[:6]:
+            conditions = " and ".join(str(c) for c in rule.conditions) or "(always)"
+            lines.append(
+                f"  rule: {conditions} -> improved "
+                f"[support {rule.support}, confidence {rule.confidence:.0%}]"
+            )
+        return "\n".join(lines)
+
+
+def build_training_set(
+    campaign: ControlledCampaign,
+) -> tuple[list[list[float]], list[bool]]:
+    """One example per (pair, overlay node).
+
+    ``rtt_reduction``/``loss_reduction`` are relative cuts achieved by
+    the overlay path vs the direct path (negative when the overlay is
+    worse).  Loss reduction uses the underlying model rates; when the
+    direct path's loss is ~0 the reduction is defined as 0 (nothing to
+    cut) rather than dropping the example.
+    """
+    features: list[list[float]] = []
+    labels: list[bool] = []
+    for pair, _pathset in zip(campaign.result.pairs, campaign.pathsets):
+        m = pair.measurement
+        direct_rtt = m.direct.avg_rtt_ms
+        direct_loss = m.direct.retransmission_rate
+        direct_mbps = m.direct.throughput_mbps
+        for name, stats in m.overlay.items():
+            rtt_reduction = (direct_rtt - stats.avg_rtt_ms) / direct_rtt
+            if direct_loss > 0:
+                loss_reduction = (direct_loss - stats.retransmission_rate) / direct_loss
+            else:
+                loss_reduction = 0.0
+            features.append([rtt_reduction, loss_reduction])
+            labels.append(stats.throughput_mbps > direct_mbps)
+    return features, labels
+
+
+def run_classify(campaign: ControlledCampaign, max_depth: int = 4) -> ClassifyResult:
+    """Fit the tree and extract the paper-style thresholds."""
+    features, labels = build_training_set(campaign)
+    if len(set(labels)) < 2:
+        raise ExperimentError("training set is single-class; cannot learn thresholds")
+    tree = C45Tree(FEATURES, min_samples_leaf=max(len(labels) // 50, 5), max_depth=max_depth)
+    tree.fit(features, labels)
+    return ClassifyResult(
+        tree=tree,
+        accuracy=tree.accuracy(features, labels),
+        examples=len(labels),
+        positive_rules=tree.rules(label=True),
+    )

@@ -1,0 +1,99 @@
+"""E12 — the economics (abstract, Sec. I, Sec. VII-D).
+
+Two artifacts:
+
+* the abstract's claim — CRONets improves throughput "at a tenth of
+  the cost of leasing private lines of comparable performance": for
+  each improved pair of the weblab campaign, price a 5-node overlay
+  against a leased line sized to the overlay's achieved throughput
+  between the two endpoints' cities;
+* Sec. VII-D's cost table — monthly price per overlay node across
+  server type, port speed and traffic volume.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.cloud.datacenter import PortSpeed
+from repro.cloud.pricing import (
+    CostComparison,
+    PricingModel,
+    TrafficTier,
+    overlay_vs_leased_line,
+)
+from repro.errors import ExperimentError
+from repro.experiments.weblab import WeblabResult
+from repro.geo import city as lookup_city
+
+
+@dataclass
+class CostResult:
+    """Cost ratios per improved pair + the Sec. VII-D price table."""
+
+    comparisons: list[CostComparison]
+    pricing: PricingModel
+
+    def __post_init__(self) -> None:
+        if not self.comparisons:
+            raise ExperimentError("no improved pairs to price")
+
+    def median_cost_ratio(self) -> float:
+        """Median overlay/leased-line cost ratio (the ~0.1 headline)."""
+        return statistics.median(c.cost_ratio for c in self.comparisons)
+
+    def price_table(self) -> list[tuple[str, str, str, float]]:
+        """Sec. VII-D's dimensions: server type x port speed x volume."""
+        rows = []
+        for bare_metal in (False, True):
+            kind = "bare metal" if bare_metal else "virtual"
+            for port in PortSpeed:
+                for tier in TrafficTier:
+                    rows.append(
+                        (
+                            kind,
+                            f"{port.value} Mbps",
+                            "unlimited" if tier is TrafficTier.UNLIMITED else f"{tier.value} GB",
+                            self.pricing.vm_monthly_usd(port, tier, bare_metal),
+                        )
+                    )
+        return rows
+
+    def render(self) -> str:
+        ratio = self.median_cost_ratio()
+        return "\n\n".join(
+            [
+                f"Cost — {len(self.comparisons)} improved pairs; "
+                f"median overlay/leased-line cost ratio = {ratio:.3f} "
+                f"(the paper's 'a tenth of the cost')",
+                "Sec. VII-D — monthly price per overlay node (USD)",
+                format_table(
+                    ["server", "port speed", "traffic", "$ / month"], self.price_table()
+                ),
+            ]
+        )
+
+
+def run_cost(
+    weblab: WeblabResult,
+    node_count: int = 5,
+    pricing: PricingModel | None = None,
+) -> CostResult:
+    """Price the overlay against leased lines for every improved pair."""
+    model = pricing or PricingModel()
+    comparisons: list[CostComparison] = []
+    for pair in weblab.pairs:
+        if pair.split_ratio <= 1.0:
+            continue  # a leased line is only 'comparable' where the overlay wins
+        comparisons.append(
+            overlay_vs_leased_line(
+                achieved_throughput_mbps=pair.best_split_mbps,
+                node_count=node_count,
+                endpoint_a=lookup_city(pair.server_city).point,
+                endpoint_b=lookup_city(pair.client_city).point,
+                pricing=model,
+            )
+        )
+    return CostResult(comparisons=comparisons, pricing=model)

@@ -1,0 +1,109 @@
+"""E7 — path diversity (Sec. V-A, Fig. 8).
+
+From the controlled campaign's traceroutes: the diversity score of
+every overlay path against its direct path, bucketed by the overlay
+path's throughput improvement ratio, plus the location analysis of the
+common routers (the paper finds 87 % of them in the two end segments).
+
+Paper shape: 60 % of overlay paths score >= 0.38, 25 % score >= 0.55;
+higher-improvement buckets have stochastically higher diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.diversity import (
+    diversity_score,
+    end_segment_share,
+    segment_location_shares,
+)
+from repro.analysis.tables import format_series
+from repro.errors import ExperimentError
+from repro.experiments.controlled import ControlledCampaign
+
+#: Fig. 8's improvement-ratio buckets.
+BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("ratio>1.25", 1.25, float("inf")),
+    ("1.0<ratio<=1.25", 1.0, 1.25),
+    ("0.5<ratio<=1.0", 0.5, 1.0),
+    ("ratio<=0.5", 0.0, 0.5),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OverlayPathDiversity:
+    """One overlay path's diversity score and improvement ratio."""
+
+    src_name: str
+    dst_name: str
+    node_name: str
+    score: float
+    improvement_ratio: float
+    segment_shares: tuple[float, float, float]
+
+
+@dataclass
+class DiversityResult:
+    """Fig. 8 plus the common-router location statistic."""
+
+    records: list[OverlayPathDiversity]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ExperimentError("no overlay paths to score")
+
+    def all_scores_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF([r.score for r in self.records])
+
+    def bucket_cdfs(self) -> dict[str, EmpiricalCDF]:
+        """One CDF per improvement bucket (empty buckets are omitted)."""
+        out: dict[str, EmpiricalCDF] = {}
+        for label, lo, hi in BUCKETS:
+            scores = [r.score for r in self.records if lo < r.improvement_ratio <= hi]
+            if scores:
+                out[label] = EmpiricalCDF(scores)
+        return out
+
+    def end_segment_share(self) -> float:
+        """Average share of common routers in the two end segments."""
+        return end_segment_share([r.segment_shares for r in self.records])
+
+    def fraction_scoring_at_least(self, threshold: float) -> float:
+        """Fraction of overlay paths with diversity >= ``threshold``."""
+        return self.all_scores_cdf().fraction_above(threshold - 1e-12)
+
+    def render(self, series_points: int = 20) -> str:
+        parts = [
+            f"Fig. 8 — {len(self.records)} overlay paths; "
+            f">=0.38 for {self.fraction_scoring_at_least(0.38):.0%}, "
+            f">=0.55 for {self.fraction_scoring_at_least(0.55):.0%}; "
+            f"common routers in end segments: {self.end_segment_share():.0%}",
+            format_series("fig8/all", self.all_scores_cdf().series(series_points)),
+        ]
+        for label, cdf in self.bucket_cdfs().items():
+            parts.append(format_series(f"fig8/{label}", cdf.series(series_points)))
+        return "\n\n".join(parts)
+
+
+def run_diversity(campaign: ControlledCampaign) -> DiversityResult:
+    """Score every overlay path of the controlled campaign."""
+    records: list[OverlayPathDiversity] = []
+    for pair, pathset in zip(campaign.result.pairs, campaign.pathsets):
+        direct = pathset.direct
+        direct_mbps = pair.measurement.direct.throughput_mbps
+        for option in pathset.options:
+            overlay = option.concatenated
+            stats = pair.measurement.overlay[option.name]
+            records.append(
+                OverlayPathDiversity(
+                    src_name=pathset.src_name,
+                    dst_name=pathset.dst_name,
+                    node_name=option.name,
+                    score=diversity_score(direct, overlay),
+                    improvement_ratio=stats.throughput_mbps / direct_mbps,
+                    segment_shares=segment_location_shares(direct, overlay),
+                )
+            )
+    return DiversityResult(records=records)

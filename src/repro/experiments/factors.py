@@ -1,0 +1,142 @@
+"""E8 — which paths gain the most (Sec. V-B, Figs. 9, 10, 11).
+
+From the controlled campaign:
+
+* **Fig. 9** — direct paths bucketed by RTT; per bin the median
+  improvement ratio, MAD and fraction improved (paper: >84 % of
+  >=140 ms paths improved; median more than doubles at >=140 ms,
+  triples at >=280 ms).
+* **Fig. 10** — same by loss-rate bins, including the ``[0]``
+  (zero-observed-loss) bin with its polarity.
+* **Fig. 11** — scatter of throughput increase ratio vs direct
+  throughput (low-throughput paths gain the most; nearly every path
+  under 10 Mbps improves).
+* Hop-count analysis: improved overlay paths are *longer* than the
+  direct paths they beat (96 % of >25 %-improved ones in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.binning import BinStat, LOSS_BIN_EDGES, RTT_BIN_EDGES_MS, bin_stats
+from repro.analysis.improvement import increase_ratio
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+from repro.experiments.controlled import ControlledCampaign
+
+
+@dataclass(frozen=True, slots=True)
+class FactorRecord:
+    """One pair's direct-path attributes and best overlay outcome."""
+
+    direct_rtt_ms: float
+    direct_loss: float
+    direct_mbps: float
+    best_split_mbps: float
+    best_overlay_hops: int
+    direct_hops: int
+
+    @property
+    def ratio(self) -> float:
+        return self.best_split_mbps / self.direct_mbps
+
+    @property
+    def increase(self) -> float:
+        return increase_ratio(self.direct_mbps, self.best_split_mbps)
+
+
+@dataclass
+class FactorsResult:
+    """Figs. 9–11 and the hop-count statistic."""
+
+    records: list[FactorRecord]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ExperimentError("no factor records")
+
+    def rtt_bins(self) -> list[BinStat]:
+        return bin_stats(
+            [r.direct_rtt_ms for r in self.records],
+            [r.ratio for r in self.records],
+            RTT_BIN_EDGES_MS,
+        )
+
+    def loss_bins(self) -> list[BinStat]:
+        return bin_stats(
+            [r.direct_loss for r in self.records],
+            [r.ratio for r in self.records],
+            LOSS_BIN_EDGES,
+        )
+
+    def scatter(self) -> list[tuple[float, float]]:
+        """Fig. 11's points: (direct Mbps, increase ratio)."""
+        return [(r.direct_mbps, r.increase) for r in self.records]
+
+    def fraction_improved_at_rtt(self, threshold_ms: float) -> float:
+        """Fraction improved among pairs with direct RTT >= threshold."""
+        group = [r for r in self.records if r.direct_rtt_ms >= threshold_ms]
+        if not group:
+            return float("nan")
+        return sum(1 for r in group if r.ratio > 1.0) / len(group)
+
+    def fraction_improved_below_10mbps(self) -> float:
+        """Fig. 11's headline: almost all <10 Mbps paths improve."""
+        slow = [r for r in self.records if r.direct_mbps < 10.0]
+        if not slow:
+            return float("nan")
+        return sum(1 for r in slow if r.ratio > 1.0) / len(slow)
+
+    def longer_hop_fraction_among_improved(self, min_gain: float = 1.25) -> float:
+        """Of paths improved >= ``min_gain``x, fraction with more hops
+        than the direct path (the paper's surprising 96 %)."""
+        improved = [r for r in self.records if r.ratio >= min_gain]
+        if not improved:
+            return float("nan")
+        return sum(1 for r in improved if r.best_overlay_hops > r.direct_hops) / len(improved)
+
+    def render(self) -> str:
+        def bin_rows(bins: list[BinStat]):
+            return [
+                (b.label, b.count, b.median_ratio, b.mad_ratio, b.fraction_improved)
+                for b in bins
+            ]
+
+        headers = ["bin", "paths", "median ratio", "MAD", "frac improved"]
+        slow = self.fraction_improved_below_10mbps()
+        parts = [
+            "Fig. 9 — throughput improvement by direct-path RTT",
+            format_table(headers, bin_rows(self.rtt_bins())),
+            "Fig. 10 — throughput improvement by direct-path loss rate",
+            format_table(headers, bin_rows(self.loss_bins())),
+            f"Fig. 11 — {len(self.records)} points; "
+            f"improved among <10 Mbps paths: {slow:.0%}; "
+            f"improved among >=140 ms paths: {self.fraction_improved_at_rtt(140.0):.0%}",
+            f"Hop counts — improved (>=1.25x) overlay paths longer than direct: "
+            f"{self.longer_hop_fraction_among_improved():.0%}",
+        ]
+        return "\n\n".join(parts)
+
+
+def run_factors(campaign: ControlledCampaign) -> FactorsResult:
+    """Extract per-pair factor records from the controlled campaign."""
+    records: list[FactorRecord] = []
+    for pair, pathset in zip(campaign.result.pairs, campaign.pathsets):
+        measurement = pair.measurement
+        best_split_name = max(
+            sorted(measurement.split_overlay),
+            key=lambda n: measurement.split_overlay[n].throughput_mbps,
+        )
+        best_option = next(o for o in pathset.options if o.name == best_split_name)
+        records.append(
+            FactorRecord(
+                direct_rtt_ms=measurement.direct.avg_rtt_ms,
+                direct_loss=pair.direct_retx_observed,
+                direct_mbps=measurement.direct.throughput_mbps,
+                best_split_mbps=measurement.best_split_mbps(),
+                best_overlay_hops=best_option.concatenated.hop_count,
+                direct_hops=pathset.direct.hop_count,
+            )
+        )
+    return FactorsResult(records=records)

@@ -1,0 +1,185 @@
+"""E5–E6 — persistency of gains (Sec. IV, Figs. 6, 7, Table I).
+
+Takes the 30 direct Internet paths with the highest split-overlay
+improvements from the controlled campaign and samples each (direct
+throughput + per-node split-overlay throughput) 50 times at 3-hour
+intervals over a week.
+
+Paper results to match in shape: ~90 % of the selected paths stay
+improved over the whole week (mean ratio 8.39, median 7.58); 70 % of
+paths need only 1–2 overlay nodes; Table I's improvement-vs-node-count
+flattens after two nodes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.pathset import PathSet, PathType
+from repro.core.placement import improvement_vs_node_count, min_nodes_for_max_throughput
+from repro.errors import ExperimentError
+from repro.experiments.controlled import ControlledCampaign
+
+#: Sec. IV: 50 samples at 3-hour intervals over a 7-day period.
+SAMPLE_COUNT = 50
+SAMPLE_INTERVAL_S = 3.0 * 3_600.0
+TOP_PATH_COUNT = 30
+
+
+@dataclass
+class LongitudinalPath:
+    """One tracked path: its samples over the measurement period."""
+
+    path_index: int  # 1 = largest improvement in the controlled study
+    src_name: str
+    dst_name: str
+    direct_samples: list[float]
+    node_samples: dict[str, list[float]]  # split-overlay Mbps per node
+
+    @property
+    def direct_avg(self) -> float:
+        return statistics.mean(self.direct_samples)
+
+    @property
+    def direct_std(self) -> float:
+        return statistics.pstdev(self.direct_samples)
+
+    def max_overlay_series(self) -> list[float]:
+        """Per-instant max split-overlay throughput across nodes."""
+        names = sorted(self.node_samples)
+        return [
+            max(self.node_samples[name][i] for name in names)
+            for i in range(len(self.direct_samples))
+        ]
+
+    @property
+    def max_overlay_avg(self) -> float:
+        return statistics.mean(self.max_overlay_series())
+
+    @property
+    def max_overlay_std(self) -> float:
+        return statistics.pstdev(self.max_overlay_series())
+
+    @property
+    def improvement_ratio(self) -> float:
+        """Average max-overlay throughput over average direct."""
+        return self.max_overlay_avg / self.direct_avg
+
+    @property
+    def min_nodes_required(self) -> int:
+        """Fig. 7's per-path bar."""
+        return min_nodes_for_max_throughput(self.node_samples)
+
+
+@dataclass
+class LongitudinalResult:
+    """Figs. 6, 7 and Table I."""
+
+    paths: list[LongitudinalPath]
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ExperimentError("longitudinal study tracked no paths")
+
+    # ------------------------------------------------------- Fig. 6
+    def fig6_rows(self) -> list[tuple[int, float, float, float, float]]:
+        """(index, direct avg, direct std, max-overlay avg, std)."""
+        return [
+            (p.path_index, p.direct_avg, p.direct_std, p.max_overlay_avg, p.max_overlay_std)
+            for p in self.paths
+        ]
+
+    def fraction_consistently_improved(self) -> float:
+        """Paths whose average overlay beat the average direct."""
+        return sum(1 for p in self.paths if p.improvement_ratio > 1.0) / len(self.paths)
+
+    def improvement_stats(self) -> tuple[float, float]:
+        """(mean, median) of improvement ratios among improved paths."""
+        improved = [p.improvement_ratio for p in self.paths if p.improvement_ratio > 1.0]
+        if not improved:
+            raise ExperimentError("no path stayed improved over the period")
+        return statistics.mean(improved), statistics.median(improved)
+
+    # ------------------------------------------------------- Fig. 7
+    def min_nodes_distribution(self) -> list[int]:
+        """Fig. 7: minimum node count per path index."""
+        return [p.min_nodes_required for p in self.paths]
+
+    def fraction_needing_at_most(self, count: int) -> float:
+        """E.g. the paper's '70 % need only one or two overlay nodes'."""
+        dist = self.min_nodes_distribution()
+        return sum(1 for n in dist if n <= count) / len(dist)
+
+    # ------------------------------------------------------- Table I
+    def table1(self) -> list[tuple[int, float, float]]:
+        """(node count, mean, median of avg improvement factors)."""
+        return improvement_vs_node_count(
+            [p.node_samples for p in self.paths],
+            [p.direct_avg for p in self.paths],
+        )
+
+    def render(self) -> str:
+        mean_ratio, median_ratio = self.improvement_stats()
+        parts = [
+            f"Fig. 6 — {len(self.paths)} paths x {len(self.paths[0].direct_samples)} samples; "
+            f"{self.fraction_consistently_improved():.0%} consistently improved "
+            f"(mean ratio {mean_ratio:.2f}, median {median_ratio:.2f})",
+            format_table(
+                ["path", "direct avg", "direct std", "max split avg", "std"],
+                self.fig6_rows(),
+            ),
+            "Fig. 7 — min overlay nodes per path: "
+            + " ".join(str(n) for n in self.min_nodes_distribution())
+            + f"  (<=2 nodes for {self.fraction_needing_at_most(2):.0%})",
+            "Table I — overlay node count vs improvement factors",
+            format_table(
+                ["# nodes", "mean of avg improvement", "median of avg improvement"],
+                self.table1(),
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def run_longitudinal(
+    campaign: ControlledCampaign,
+    top_n: int = TOP_PATH_COUNT,
+    samples: int = SAMPLE_COUNT,
+    interval_s: float = SAMPLE_INTERVAL_S,
+) -> LongitudinalResult:
+    """Track the top-``top_n`` most-improved pairs over a week."""
+    if top_n <= 0 or samples <= 0:
+        raise ExperimentError(f"invalid plan: top_n={top_n} samples={samples}")
+    ranked = sorted(
+        zip(campaign.result.pairs, campaign.pathsets),
+        key=lambda item: -item[0].split_ratio,
+    )[:top_n]
+    if not ranked:
+        raise ExperimentError("controlled campaign has no pairs to rank")
+
+    world = campaign.world
+    paths: list[LongitudinalPath] = []
+    for index, (_pair, pathset) in enumerate(ranked, start=1):
+        paths.append(
+            LongitudinalPath(
+                path_index=index,
+                src_name=pathset.src_name,
+                dst_name=pathset.dst_name,
+                direct_samples=[],
+                node_samples={option.name: [] for option in pathset.options},
+            )
+        )
+
+    start = world.internet.now
+    for i in range(samples):
+        at_time = start + i * interval_s
+        for record, (_pair, pathset) in zip(paths, ranked):
+            record.direct_samples.append(
+                pathset.direct_connection().throughput_at(at_time)
+            )
+            split = pathset.throughput(PathType.SPLIT_OVERLAY, at_time)
+            for name, value in split.items():
+                record.node_samples[name].append(value)
+    world.internet.set_time(start + samples * interval_s)
+    return LongitudinalResult(paths=paths)

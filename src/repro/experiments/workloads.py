@@ -1,0 +1,113 @@
+"""Workload models: what the paper's motivating users actually send.
+
+Sec. I motivates CRONets with branch offices and remote workers;
+Sec. II-B notes that loss and RTT "can be as important as throughput
+for many applications such as video conferencing, and online gaming."
+This module provides the workload vocabulary for such studies:
+
+* bulk transfers (file-size distributions for download campaigns),
+* interactive sessions scored by an RTT/loss quality model (the MOS-
+  style E-model shape used for conferencing),
+* a mixed office workload combining the two.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.path import PathMetrics
+
+
+class WorkloadKind(enum.Enum):
+    """The application classes the paper's scenarios imply."""
+
+    BULK_TRANSFER = "bulk"  # backups, file sync — throughput-bound
+    INTERACTIVE = "interactive"  # conferencing, gaming — RTT/loss-bound
+
+
+@dataclass(frozen=True, slots=True)
+class BulkTransferModel:
+    """Log-normal file sizes (the classic heavy-tailed transfer mix).
+
+    Defaults center near the paper's 100 MB benchmark download with a
+    long tail of larger backups.
+    """
+
+    median_bytes: float = 100_000_000.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.median_bytes <= 0:
+            raise ConfigError(f"median must be positive, got {self.median_bytes}")
+        if self.sigma <= 0:
+            raise ConfigError(f"sigma must be positive, got {self.sigma}")
+
+    def sample_sizes(self, rng: np.random.Generator, count: int) -> list[int]:
+        """Draw ``count`` transfer sizes (bytes)."""
+        if count <= 0:
+            raise ConfigError(f"count must be positive, got {count}")
+        draws = rng.lognormal(mean=math.log(self.median_bytes), sigma=self.sigma, size=count)
+        return [max(int(size), 1) for size in draws]
+
+
+@dataclass(frozen=True, slots=True)
+class InteractiveQualityModel:
+    """An E-model-shaped quality score for RTT/loss-sensitive apps.
+
+    Produces a 0–100 score: full marks below the RTT/loss comfort
+    thresholds, with penalties growing linearly in RTT beyond
+    ``rtt_budget_ms`` and logarithmically in loss beyond
+    ``loss_budget`` — the standard shape of conversational-quality
+    models (ITU-T G.107 simplified).
+    """
+
+    rtt_budget_ms: float = 150.0
+    rtt_penalty_per_ms: float = 0.25
+    loss_budget: float = 1e-4
+    loss_penalty_per_decade: float = 18.0
+
+    def score(self, metrics: PathMetrics) -> float:
+        """Quality score in [0, 100] for one path snapshot."""
+        score = 100.0
+        if metrics.rtt_ms > self.rtt_budget_ms:
+            score -= (metrics.rtt_ms - self.rtt_budget_ms) * self.rtt_penalty_per_ms
+        if metrics.loss > self.loss_budget:
+            decades = math.log10(metrics.loss / self.loss_budget)
+            score -= decades * self.loss_penalty_per_decade
+        return max(min(score, 100.0), 0.0)
+
+    def acceptable(self, metrics: PathMetrics, threshold: float = 60.0) -> bool:
+        """Whether a session on this path would be usable."""
+        return self.score(metrics) >= threshold
+
+
+@dataclass(frozen=True, slots=True)
+class OfficeWorkload:
+    """A branch office's daily mix: bulk syncs + interactive sessions."""
+
+    bulk: BulkTransferModel = BulkTransferModel()
+    interactive: InteractiveQualityModel = InteractiveQualityModel()
+    bulk_transfers_per_day: int = 24
+    interactive_sessions_per_day: int = 16
+
+    def __post_init__(self) -> None:
+        if self.bulk_transfers_per_day < 0 or self.interactive_sessions_per_day < 0:
+            raise ConfigError("per-day counts must be non-negative")
+
+    def daily_bulk_bytes(self, rng: np.random.Generator) -> int:
+        """Total bytes the office pushes in one day."""
+        if self.bulk_transfers_per_day == 0:
+            return 0
+        return sum(self.bulk.sample_sizes(rng, self.bulk_transfers_per_day))
+
+    def session_times(self, rng: np.random.Generator) -> list[float]:
+        """Session start times (seconds), clustered in business hours."""
+        if self.interactive_sessions_per_day == 0:
+            return []
+        hours = rng.normal(loc=14.0, scale=3.0, size=self.interactive_sessions_per_day)
+        return sorted(float(min(max(h, 0.0), 23.99)) * 3_600.0 for h in hours)

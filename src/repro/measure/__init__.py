@@ -1,0 +1,24 @@
+"""Measurement tools mirroring the paper's toolchain.
+
+* :mod:`~repro.measure.iperf` — throughput of a timed transfer,
+* :mod:`~repro.measure.tstat` — retransmission rate and average RTT
+  derived from flow statistics,
+* :mod:`~repro.measure.traceroute` — the router-level path,
+* :mod:`~repro.measure.runner` — batched measurement campaigns.
+"""
+
+from repro.measure.iperf import IperfReport, iperf
+from repro.measure.tstat import TstatReport, tstat
+from repro.measure.traceroute import TracerouteHop, traceroute
+from repro.measure.runner import MeasurementCampaign, Sample
+
+__all__ = [
+    "IperfReport",
+    "iperf",
+    "TstatReport",
+    "tstat",
+    "TracerouteHop",
+    "traceroute",
+    "MeasurementCampaign",
+    "Sample",
+]

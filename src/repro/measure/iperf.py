@@ -1,0 +1,40 @@
+"""iperf: timed TCP throughput measurement (Sec. II-B uses 30 s)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.transport.throughput import FlowStats
+
+DEFAULT_DURATION_S = 30.0
+
+
+@dataclass(frozen=True, slots=True)
+class IperfReport:
+    """What `iperf` prints at the end of a run."""
+
+    duration_s: float
+    transferred_bytes: int
+    throughput_mbps: float
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        mb = self.transferred_bytes / 1e6
+        return f"[iperf] {self.duration_s:.0f} s  {mb:.1f} MB  {self.throughput_mbps:.2f} Mbps"
+
+
+def iperf(connection, start_time: float, duration_s: float = DEFAULT_DURATION_S) -> IperfReport:
+    """Run a timed transfer over any connection exposing ``run()``.
+
+    Accepts a :class:`~repro.transport.tcp.TcpConnection`, a
+    :class:`~repro.transport.split.SplitTcpChain`, or anything
+    duck-compatible.
+    """
+    if duration_s <= 0:
+        raise MeasurementError(f"iperf duration must be positive, got {duration_s}")
+    stats: FlowStats = connection.run(start_time, duration_s)
+    return IperfReport(
+        duration_s=stats.duration_s,
+        transferred_bytes=stats.bytes_acked,
+        throughput_mbps=stats.throughput_mbps,
+    )

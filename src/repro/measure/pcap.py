@@ -1,0 +1,94 @@
+"""Packet traces and a trace-driven tstat.
+
+The model-mode tstat (:mod:`repro.measure.tstat`) reads quantities our
+flows carry natively.  This module closes the loop with the paper's
+actual methodology: capture packets (from the packet-level simulator),
+then *derive* the retransmission rate and average RTT from the capture
+the way tstat does — retransmitted bytes over payload bytes, and
+data-segment-to-ACK elapsed times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.measure.tstat import TstatReport
+from repro.transport.packetsim import PacketLevelTcp
+
+
+@dataclass(frozen=True, slots=True)
+class PacketTrace:
+    """A capture: (timestamp, event, seq) records in time order.
+
+    Events: ``data`` (first transmission), ``retx`` (retransmission),
+    ``deliver`` (arrival at the receiver), ``ack`` (cumulative ACK
+    arriving back at the sender).
+    """
+
+    records: tuple[tuple[float, str, int], ...]
+    mss_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise MeasurementError("empty packet trace")
+        times = [t for t, _e, _s in self.records]
+        if times != sorted(times):
+            raise MeasurementError("trace records are not in time order")
+
+    def count(self, event: str) -> int:
+        """Number of records of one event type."""
+        return sum(1 for _t, e, _s in self.records if e == event)
+
+
+def capture(tcp: PacketLevelTcp, duration_s: float) -> PacketTrace:
+    """Run a packet-level connection with capture enabled."""
+    tcp.trace = []
+    tcp.run(duration_s)
+    return PacketTrace(records=tuple(tcp.trace), mss_bytes=tcp.mss)
+
+
+def tstat_from_trace(trace: PacketTrace) -> TstatReport:
+    """Derive tstat's summary from a raw capture.
+
+    * retransmission rate — retransmitted bytes over *delivered*
+      payload bytes (tstat divides by the payload actually carried);
+    * average RTT — for each segment transmitted exactly once, the
+      time from its ``data`` record to the first ``ack`` record with
+      ``ack_seq >= seq`` (data-segment-to-ACK elapsed time).
+    """
+    send_time: dict[int, float] = {}
+    retransmitted: set[int] = set()
+    delivered = 0
+    rtt_samples: list[float] = []
+
+    # Pending RTT measurements ordered by seq; resolved by cumulative acks.
+    pending: list[tuple[int, float]] = []
+
+    for timestamp, event, seq in trace.records:
+        if event == "data":
+            send_time[seq] = timestamp
+            pending.append((seq, timestamp))
+        elif event == "retx":
+            retransmitted.add(seq)
+        elif event == "deliver":
+            delivered += 1
+        elif event == "ack":
+            while pending and pending[0][0] <= seq:
+                sample_seq, sent_at = pending.pop(0)
+                if sample_seq not in retransmitted:
+                    rtt_samples.append(timestamp - sent_at)
+
+    if delivered == 0:
+        raise MeasurementError("trace delivered no payload")
+    retx_bytes = len([s for s in retransmitted]) * trace.mss_bytes
+    total_retx_events = trace.count("retx")
+    avg_rtt_ms = (
+        1_000.0 * sum(rtt_samples) / len(rtt_samples) if rtt_samples else 0.0
+    )
+    return TstatReport(
+        retransmission_rate=(total_retx_events * trace.mss_bytes)
+        / max(delivered * trace.mss_bytes, retx_bytes, 1),
+        avg_rtt_ms=avg_rtt_ms,
+        bytes_total=delivered * trace.mss_bytes,
+    )

@@ -1,0 +1,37 @@
+"""tstat: retransmission rate and average RTT from flow statistics.
+
+The paper (Sec. II-B, III-B) derives per-transfer TCP retransmission
+rates (retransmitted bytes over total payload bytes) and average RTT
+(data-segment-to-ACK elapsed time, capturing queuing as well as
+propagation) with tstat.  Our flows carry those quantities natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transport.throughput import FlowStats
+
+
+@dataclass(frozen=True, slots=True)
+class TstatReport:
+    """tstat's per-flow summary."""
+
+    retransmission_rate: float
+    avg_rtt_ms: float
+    bytes_total: int
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return (
+            f"[tstat] retx={self.retransmission_rate:.2e} "
+            f"rtt={self.avg_rtt_ms:.1f} ms bytes={self.bytes_total}"
+        )
+
+
+def tstat(stats: FlowStats) -> TstatReport:
+    """Summarize one flow the way tstat post-processes a capture."""
+    return TstatReport(
+        retransmission_rate=stats.retransmission_rate,
+        avg_rtt_ms=stats.avg_rtt_ms,
+        bytes_total=stats.bytes_acked,
+    )

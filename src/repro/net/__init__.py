@@ -1,0 +1,36 @@
+"""Internet substrate: topology, BGP policy routing, links, paths.
+
+This package simulates the part of the paper's infrastructure that a
+reproduction cannot rent: the public Internet.  It builds a seeded
+AS-level topology with Gao–Rexford business relationships, computes
+valley-free BGP paths, expands them to router level with hot-potato
+egress selection, and models per-link capacity, propagation delay,
+queuing, loss and time-varying background congestion concentrated in
+the Internet core (per Akella et al. and Kang & Gligor, the works the
+paper builds its motivation on).
+"""
+
+from repro.net.asn import ASKind, AutonomousSystem
+from repro.net.links import Link, LinkClass
+from repro.net.topology import Relationship, ASRelation, Topology, TopologyConfig, generate_topology
+from repro.net.bgp import BgpRouting, RouteKind
+from repro.net.path import RouterPath, PathMetrics
+from repro.net.world import Host, Internet
+
+__all__ = [
+    "ASKind",
+    "AutonomousSystem",
+    "Link",
+    "LinkClass",
+    "Relationship",
+    "ASRelation",
+    "Topology",
+    "TopologyConfig",
+    "generate_topology",
+    "BgpRouting",
+    "RouteKind",
+    "RouterPath",
+    "PathMetrics",
+    "Host",
+    "Internet",
+]

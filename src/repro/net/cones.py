@@ -1,0 +1,77 @@
+"""Customer cones and topology characterization.
+
+The customer cone of an AS is the set of ASes reachable by walking
+provider→customer edges — the networks whose traffic it can carry as
+paid transit.  Cone sizes are the standard way (CAIDA AS-Rank) to
+check that a generated topology has a realistic hierarchy: Tier-1
+cones cover (nearly) everything, transit cones are regional, stub
+cones are themselves.
+
+Used by tests to validate the generator and by the cloud-deployment
+logic's documentation of what "well-peered" buys.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.net.asn import ASKind
+from repro.net.topology import Topology
+
+
+def customer_cone(topology: Topology, asn: int) -> set[int]:
+    """All ASes in ``asn``'s customer cone (itself included)."""
+    if asn not in topology.ases:
+        raise TopologyError(f"unknown AS{asn}")
+    cone = {asn}
+    frontier = [asn]
+    while frontier:
+        nxt: list[int] = []
+        for current in frontier:
+            for customer in topology.customers_of(current):
+                if customer not in cone:
+                    cone.add(customer)
+                    nxt.append(customer)
+        frontier = nxt
+    return cone
+
+
+def cone_sizes(topology: Topology) -> dict[int, int]:
+    """Customer-cone size per AS."""
+    return {asn: len(customer_cone(topology, asn)) for asn in topology.ases}
+
+
+def hierarchy_summary(topology: Topology) -> dict[str, float]:
+    """Mean cone size per AS kind — the hierarchy at a glance."""
+    sizes = cone_sizes(topology)
+    summary: dict[str, float] = {}
+    for kind in ASKind:
+        members = [a.asn for a in topology.ases_of_kind(kind)]
+        if members:
+            summary[kind.value] = sum(sizes[m] for m in members) / len(members)
+    return summary
+
+
+def transit_degree(topology: Topology, asn: int) -> int:
+    """Number of distinct neighbors (providers + customers + peers)."""
+    if asn not in topology.ases:
+        raise TopologyError(f"unknown AS{asn}")
+    return len(
+        set(topology.providers_of(asn))
+        | set(topology.customers_of(asn))
+        | set(topology.peers_of(asn))
+    )
+
+
+def reaches_everyone_via_customers_and_peers(topology: Topology, asn: int) -> float:
+    """Fraction of ASes reachable without buying transit.
+
+    For a Tier-1 this is 1.0 by construction (clique + cones); for the
+    cloud AS it measures how far its aggressive peering reaches — the
+    quantity CRONets' path diversity rides on.
+    """
+    if asn not in topology.ases:
+        raise TopologyError(f"unknown AS{asn}")
+    reach = customer_cone(topology, asn)
+    for peer in topology.peers_of(asn):
+        reach |= customer_cone(topology, peer)
+    return len(reach) / len(topology.ases)

@@ -1,0 +1,73 @@
+"""Failure injection for links.
+
+The paper's longitudinal study attributes some of the largest overlay
+wins to "transient events" (congestion or failures) at intermediate
+ISPs; MPTCP's value proposition (Sec. VI-A) includes surviving path
+failures.  This module schedules deterministic link failures so those
+behaviours can be exercised in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.net.links import Link
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One link outage: ``[start_s, start_s + duration_s)``."""
+
+    link_id: int
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ConfigError(
+                f"failure window invalid: start={self.start_s} duration={self.duration_s}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        """Absolute time the link comes back up."""
+        return self.start_s + self.duration_s
+
+    def active_at(self, t: float) -> bool:
+        """True while the outage covers time ``t``."""
+        return self.start_s <= t < self.end_s
+
+
+@dataclass
+class FailureSchedule:
+    """Applies scheduled outages to links as the clock advances.
+
+    Call :meth:`apply` with the current time whenever the world clock
+    moves; links flip to failed/restored to match the schedule.
+    """
+
+    links_by_id: dict[int, Link]
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def schedule(self, link_id: int, start_s: float, duration_s: float) -> FailureEvent:
+        """Register an outage for ``link_id``."""
+        if link_id not in self.links_by_id:
+            raise ConfigError(f"cannot schedule failure on unknown link {link_id}")
+        event = FailureEvent(link_id=link_id, start_s=start_s, duration_s=duration_s)
+        self.events.append(event)
+        return event
+
+    def apply(self, t: float) -> None:
+        """Set each scheduled link's failed flag to match time ``t``.
+
+        Links never touched by the schedule are left alone, so manual
+        ``fail()`` calls elsewhere are not overridden.
+        """
+        for link_id in {e.link_id for e in self.events}:
+            active = any(e.active_at(t) for e in self.events if e.link_id == link_id)
+            link = self.links_by_id[link_id]
+            if active and not link.failed:
+                link.fail()
+            elif not active and link.failed:
+                link.restore()

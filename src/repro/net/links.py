@@ -1,0 +1,153 @@
+"""Link model: capacity, propagation delay, queuing, loss, failure.
+
+Links are undirected; both directions share one load process.  The
+metrics exposed here are the inputs to the transport models:
+
+* ``utilization(t)`` — background load fraction,
+* ``queuing_delay_ms(t)`` — M/M/1-style delay growing with load,
+* ``loss(t)`` — base (physical/random) loss plus congestion loss once
+  utilization passes a knee,
+* ``available_bw(t)`` — headroom a new TCP flow can claim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError
+from repro.net.congestion import BackgroundLoad
+from repro.units import check_fraction, check_non_negative, check_positive
+
+
+class LinkClass(enum.Enum):
+    """Where a link sits in the Internet; controls its congestion profile."""
+
+    T1_PEERING = "t1_peering"  # Tier-1 <-> Tier-1 interconnect (the hot core)
+    T1_TRANSIT = "t1_transit"  # Tier-1 <-> transit customer link
+    TRANSIT_PEERING = "transit_peering"  # transit <-> transit IXP peering
+    ACCESS = "access"  # transit/T1 <-> stub customer link
+    CLOUD_PEERING = "cloud_peering"  # cloud AS <-> ISP at an IXP
+    CLOUD_TRANSIT = "cloud_transit"  # cloud AS <-> Tier-1 transit
+    INTERNAL = "internal"  # intra-AS backbone link
+    CLOUD_BACKBONE = "cloud_backbone"  # cloud private inter-DC backbone
+    HOST_ACCESS = "host_access"  # last-mile host <-> router link
+
+
+#: Utilization above which congestion loss sets in.
+LOSS_KNEE = 0.82
+#: Utilization above which queues start to build.
+QUEUE_KNEE = 0.60
+#: Maximum congestion-induced loss fraction at full utilization.
+MAX_CONGESTION_LOSS = 0.035
+#: Minimum share of a saturated link a persistent TCP flow still gets.
+MIN_FAIR_SHARE = 0.02
+
+
+@dataclass(slots=True)
+class Link:
+    """A physical (or virtual) link between two routers.
+
+    Parameters
+    ----------
+    link_id:
+        Globally unique id, stable across runs for a given world seed.
+    router_a / router_b:
+        Router ids of the two endpoints (order carries no meaning).
+    capacity_mbps:
+        Raw capacity.
+    prop_delay_ms:
+        One-way propagation delay.
+    base_loss:
+        Load-independent loss fraction (fiber errors, shallow buffers).
+    load:
+        Background utilization process.
+    max_queue_ms:
+        Cap on queuing delay (buffer depth / capacity).
+    """
+
+    link_id: int
+    router_a: int
+    router_b: int
+    capacity_mbps: float
+    prop_delay_ms: float
+    base_loss: float
+    link_class: LinkClass
+    load: BackgroundLoad
+    max_queue_ms: float = 40.0
+    failed: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_mbps, "capacity_mbps")
+        check_non_negative(self.prop_delay_ms, "prop_delay_ms")
+        check_fraction(self.base_loss, "base_loss")
+        check_non_negative(self.max_queue_ms, "max_queue_ms")
+        if self.router_a == self.router_b:
+            raise LinkError(f"link {self.link_id} is a self-loop at router {self.router_a}")
+
+    def other_end(self, router_id: int) -> int:
+        """The router at the opposite end of ``router_id``."""
+        if router_id == self.router_a:
+            return self.router_b
+        if router_id == self.router_b:
+            return self.router_a
+        raise LinkError(f"router {router_id} is not an endpoint of link {self.link_id}")
+
+    def utilization(self, t: float) -> float:
+        """Background utilization at time ``t`` (0 when failed: no traffic)."""
+        if self.failed:
+            return 0.0
+        return self.load.utilization(t)
+
+    def queuing_delay_ms(self, t: float) -> float:
+        """One-way queuing delay from background load at time ``t``.
+
+        Routers keep their buffers (sized to ``max_queue_ms`` worth of
+        line rate) mostly empty below :data:`QUEUE_KNEE` utilization and
+        fill them quadratically as load approaches saturation — the
+        standing-queue behaviour congested core links exhibit.
+        """
+        u = self.utilization(t)
+        if u <= QUEUE_KNEE:
+            return 0.0
+        fill = (u - QUEUE_KNEE) / (1.0 - QUEUE_KNEE)
+        return self.max_queue_ms * fill * fill
+
+    def loss(self, t: float) -> float:
+        """Packet loss fraction at time ``t``.
+
+        Congestion loss grows quadratically past :data:`LOSS_KNEE`,
+        reaching :data:`MAX_CONGESTION_LOSS` at full utilization.
+        """
+        if self.failed:
+            return 1.0
+        u = self.utilization(t)
+        congestion = 0.0
+        if u > LOSS_KNEE:
+            severity = (u - LOSS_KNEE) / (1.0 - LOSS_KNEE)
+            congestion = MAX_CONGESTION_LOSS * severity * severity
+        return min(self.base_loss + congestion, 1.0)
+
+    def available_bw_mbps(self, t: float) -> float:
+        """Bandwidth a new persistent flow can expect to claim at ``t``.
+
+        Headroom ``(1 - u) * capacity``, floored at a minimal fair share
+        — TCP on a saturated link still pushes background traffic aside
+        a little rather than starving entirely.
+        """
+        if self.failed:
+            return 0.0
+        headroom = (1.0 - self.utilization(t)) * self.capacity_mbps
+        return max(headroom, MIN_FAIR_SHARE * self.capacity_mbps)
+
+    def one_way_delay_ms(self, t: float) -> float:
+        """Propagation plus queuing delay at time ``t``."""
+        return self.prop_delay_ms + self.queuing_delay_ms(t)
+
+    def fail(self) -> None:
+        """Take the link down (used by failure-injection experiments)."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Bring a failed link back up."""
+        self.failed = False

@@ -1,0 +1,88 @@
+"""A looking glass: operator-style views into the simulated Internet.
+
+Real measurement work leans on looking-glass servers ("show ip bgp",
+reverse path checks).  This module renders the same views over the
+simulation — the debugging surface for anyone extending the substrate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.errors import TopologyError
+from repro.net.bgp import RouteKind
+from repro.net.world import Internet
+
+
+def show_bgp(internet: Internet, src_asn: int, dest_asn: int) -> str:
+    """'show ip bgp <dest>' as seen from ``src_asn``.
+
+    Lists every candidate route with its LocalPref class and AS path;
+    the selected best candidate(s) are starred.
+    """
+    candidates = internet.bgp.candidate_routes(src_asn, dest_asn)
+    if not candidates:
+        return f"AS{src_asn} has no route toward AS{dest_asn}"
+    best_key = min((r.kind, r.length) for r in candidates)
+    rows = []
+    for route in sorted(candidates, key=lambda r: (r.kind, r.length, r.path)):
+        selected = "*" if (route.kind, route.length) == best_key else " "
+        rows.append(
+            (
+                selected,
+                route.kind.name.lower(),
+                route.length,
+                " ".join(f"AS{a}" for a in route.path),
+            )
+        )
+    return format_table(["best", "learned-from", "hops", "as-path"], rows)
+
+
+def show_neighbors(internet: Internet, asn: int) -> str:
+    """'show bgp neighbors': relationships and interconnect cities."""
+    topology = internet.topology
+    if asn not in topology.ases:
+        raise TopologyError(f"unknown AS{asn}")
+    rows = []
+    for provider in sorted(topology.providers_of(asn)):
+        rows.append(("provider", f"AS{provider}", _meet_cities(topology, asn, provider)))
+    for peer in sorted(topology.peers_of(asn)):
+        rows.append(("peer", f"AS{peer}", _meet_cities(topology, asn, peer)))
+    for customer in sorted(topology.customers_of(asn)):
+        rows.append(("customer", f"AS{customer}", _meet_cities(topology, asn, customer)))
+    if not rows:
+        return f"AS{asn} has no neighbors"
+    return format_table(["relationship", "neighbor", "interconnects"], rows)
+
+
+def _meet_cities(topology, a: int, b: int) -> str:
+    relation = topology.relation_between(a, b)
+    return ", ".join(
+        city_a if city_a == city_b else f"{city_a}~{city_b}"
+        for city_a, city_b in relation.interconnect_cities
+    )
+
+
+def show_path(internet: Internet, src_name: str, dst_name: str, at_time: float) -> str:
+    """A traceroute-with-link-detail view of the resolved path."""
+    from repro.measure.traceroute import traceroute
+
+    path = internet.resolve_path(src_name, dst_name)
+    hops = traceroute(internet, path, at_time)
+    rows = []
+    for i, hop in enumerate(hops):
+        if i == 0:
+            link_info = "-"
+        else:
+            link = path.links[i - 1]
+            link_info = (
+                f"{link.link_class.value} {link.capacity_mbps:g}Mbps "
+                f"u={link.utilization(at_time):.2f}"
+            )
+        rows.append((hop.hop_number, hop.label, hop.address, f"{hop.rtt_ms:.1f}", link_info))
+    metrics = path.metrics(at_time)
+    table = format_table(["hop", "node", "address", "rtt_ms", "via link"], rows)
+    return (
+        f"{table}\n"
+        f"path: rtt={metrics.rtt_ms:.1f} ms loss={metrics.loss:.2e} "
+        f"avail={metrics.available_bw_mbps:.1f} Mbps"
+    )

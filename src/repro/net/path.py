@@ -1,0 +1,113 @@
+"""Router-level paths and their aggregate metrics.
+
+A :class:`RouterPath` is the resolved forwarding path between two
+hosts: an alternating sequence of routers and the links between them
+(including the last-mile host-access links).  Metric aggregation
+follows the composition rules the transport models need:
+
+* RTT — twice the sum of one-way (propagation + queuing) delays,
+* loss — ``1 - prod(1 - loss_i)`` across links,
+* bottleneck available bandwidth — min across links,
+* capacity — min link capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+from repro.net.links import Link
+
+
+@dataclass(frozen=True, slots=True)
+class PathMetrics:
+    """Aggregate metrics of a path evaluated at one time instant."""
+
+    rtt_ms: float
+    loss: float
+    available_bw_mbps: float
+    capacity_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise RoutingError(f"negative RTT: {self.rtt_ms}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise RoutingError(f"loss out of range: {self.loss}")
+
+
+@dataclass(frozen=True)
+class RouterPath:
+    """A resolved end-to-end path.
+
+    ``router_ids`` lists every router traversed in order (the
+    traceroute view).  ``links`` lists the links in traversal order;
+    ``len(links)`` may exceed ``len(router_ids) - 1`` by up to 2
+    because host-access links at the two ends have a host, not a
+    router, on one side.
+    """
+
+    src_name: str
+    dst_name: str
+    router_ids: tuple[int, ...]
+    links: tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise RoutingError(f"path {self.src_name}->{self.dst_name} has no links")
+
+    @property
+    def hop_count(self) -> int:
+        """Router-level hop count (number of routers traversed)."""
+        return len(self.router_ids)
+
+    def is_alive(self) -> bool:
+        """False if any constituent link has failed."""
+        return not any(link.failed for link in self.links)
+
+    def metrics(self, t: float) -> PathMetrics:
+        """Aggregate path metrics at absolute time ``t`` (seconds)."""
+        one_way = 0.0
+        survive = 1.0
+        avail = float("inf")
+        capacity = float("inf")
+        for link in self.links:
+            one_way += link.one_way_delay_ms(t)
+            survive *= 1.0 - link.loss(t)
+            avail = min(avail, link.available_bw_mbps(t))
+            capacity = min(capacity, link.capacity_mbps)
+        return PathMetrics(
+            rtt_ms=2.0 * one_way,
+            loss=1.0 - survive,
+            available_bw_mbps=avail,
+            capacity_mbps=capacity,
+        )
+
+    def rtt_ms(self, t: float) -> float:
+        """Round-trip time at time ``t`` (convenience accessor)."""
+        return self.metrics(t).rtt_ms
+
+    def loss(self, t: float) -> float:
+        """End-to-end loss fraction at time ``t`` (convenience accessor)."""
+        return self.metrics(t).loss
+
+    def common_routers(self, other: "RouterPath") -> set[int]:
+        """Routers appearing on both paths (diversity-score numerator)."""
+        return set(self.router_ids) & set(other.router_ids)
+
+    def concatenate(self, other: "RouterPath") -> "RouterPath":
+        """Join two path segments at a shared point (A->O + O->B).
+
+        Used to build the router-level view of a tunneled overlay path.
+        The joined path keeps duplicate routers only once at the seam.
+        """
+        routers = list(self.router_ids)
+        for rid in other.router_ids:
+            if routers and rid == routers[-1]:
+                continue
+            routers.append(rid)
+        return RouterPath(
+            src_name=self.src_name,
+            dst_name=other.dst_name,
+            router_ids=tuple(routers),
+            links=tuple(self.links) + tuple(other.links),
+        )

@@ -1,0 +1,78 @@
+"""Router-level entities.
+
+Each AS materializes one router per point-of-presence city.  Routers
+are what traceroute sees and what the diversity-score analysis of
+Sec. V-A counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.geo import City, city as lookup_city
+
+
+@dataclass(frozen=True, slots=True)
+class Router:
+    """A router: one PoP of one AS in one city."""
+
+    router_id: int
+    asn: int
+    city_name: str
+
+    @property
+    def city(self) -> City:
+        """The router's city record (coordinates, region)."""
+        return lookup_city(self.city_name)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"r{self.router_id}(AS{self.asn}@{self.city_name})"
+
+
+class RouterRegistry:
+    """Allocates router ids and indexes routers by AS and by (AS, city)."""
+
+    def __init__(self) -> None:
+        self._routers: dict[int, Router] = {}
+        self._by_as: dict[int, list[int]] = {}
+        self._by_as_city: dict[tuple[int, str], int] = {}
+        self._next_id = 1
+
+    def create(self, asn: int, city_name: str) -> Router:
+        """Create (or return the existing) router for ``(asn, city)``."""
+        key = (asn, city_name)
+        existing = self._by_as_city.get(key)
+        if existing is not None:
+            return self._routers[existing]
+        lookup_city(city_name)  # validate the city exists
+        router = Router(router_id=self._next_id, asn=asn, city_name=city_name)
+        self._next_id += 1
+        self._routers[router.router_id] = router
+        self._by_as.setdefault(asn, []).append(router.router_id)
+        self._by_as_city[key] = router.router_id
+        return router
+
+    def get(self, router_id: int) -> Router:
+        """Fetch a router by id."""
+        try:
+            return self._routers[router_id]
+        except KeyError:
+            raise TopologyError(f"unknown router id {router_id}") from None
+
+    def of_as(self, asn: int) -> list[Router]:
+        """All routers belonging to an AS, in creation order."""
+        return [self._routers[rid] for rid in self._by_as.get(asn, [])]
+
+    def at(self, asn: int, city_name: str) -> Router:
+        """The router of ``asn`` in ``city_name``."""
+        rid = self._by_as_city.get((asn, city_name))
+        if rid is None:
+            raise TopologyError(f"AS{asn} has no PoP in {city_name}")
+        return self._routers[rid]
+
+    def __len__(self) -> int:
+        return len(self._routers)
+
+    def __iter__(self):
+        return iter(self._routers.values())

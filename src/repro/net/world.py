@@ -1,0 +1,577 @@
+"""The :class:`Internet` facade: routers, links, hosts, path resolution.
+
+This ties the substrate together: it materializes routers and links
+from an AS :class:`~repro.net.topology.Topology`, assigns every link a
+congestion profile by :class:`~repro.net.links.LinkClass`, attaches
+hosts behind last-mile access links, and resolves host-to-host
+router-level paths by expanding BGP AS paths with hot-potato egress
+selection.
+
+A single simulation clock (seconds) lives here; all link metrics are
+functions of that clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, RoutingError, TopologyError
+from repro.geo import city as lookup_city, haversine_km, propagation_delay_ms
+from repro.net.addressing import AddressPlan
+from repro.net.asn import ASKind
+from repro.net.bgp import BgpRouting
+from repro.net.congestion import BackgroundLoad, peak_hour_for_longitude
+from repro.net.failures import FailureSchedule
+from repro.net.links import Link, LinkClass
+from repro.net.path import RouterPath
+from repro.net.routers import RouterRegistry
+from repro.net.topology import Relationship, Topology
+from repro.rand import RandomStreams
+from repro.units import check_positive
+
+#: Host node ids start here so they never collide with router ids.
+HOST_ID_BASE = 10_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class LinkClassProfile:
+    """Congestion/capacity parameters for one link class.
+
+    ``delay_inflation_range`` models physical path inflation: real
+    circuits between two cities rarely follow the geodesic, and
+    commodity transit fiber routes inflate far more than a cloud
+    provider's engineered backbone — one of the levers that lets an
+    overlay exit from a different data center *reduce* RTT.
+    """
+
+    capacity_mbps: float
+    util_range: tuple[float, float]
+    episode_rate_per_day: float
+    episode_severity: float
+    base_loss_log10_range: tuple[float, float]
+    max_queue_ms: float = 40.0
+    delay_inflation_range: tuple[float, float] = (1.0, 1.0)
+
+
+#: Default per-class profiles.  Core interconnects run hot (Akella'03,
+#: Kang & Gligor'14: bottlenecks within or connecting Tier-1 ASes);
+#: cloud links are aggressively provisioned.
+DEFAULT_PROFILES: dict[LinkClass, LinkClassProfile] = {
+    LinkClass.T1_PEERING: LinkClassProfile(
+        100_000, (0.48, 0.92), 2.2, 0.22, (-6.2, -4.2), 50.0, (1.0, 1.6)
+    ),
+    LinkClass.T1_TRANSIT: LinkClassProfile(
+        40_000, (0.40, 0.86), 1.6, 0.18, (-6.2, -4.2), 45.0, (1.1, 2.4)
+    ),
+    LinkClass.TRANSIT_PEERING: LinkClassProfile(
+        20_000, (0.35, 0.83), 1.6, 0.18, (-6.2, -4.2), 45.0, (1.1, 2.4)
+    ),
+    LinkClass.ACCESS: LinkClassProfile(
+        10_000, (0.15, 0.65), 0.9, 0.12, (-6.5, -4.0), 35.0, (1.1, 2.6)
+    ),
+    LinkClass.CLOUD_PEERING: LinkClassProfile(
+        40_000, (0.25, 0.62), 0.5, 0.12, (-6.5, -4.2), 30.0, (1.0, 1.3)
+    ),
+    LinkClass.CLOUD_TRANSIT: LinkClassProfile(
+        40_000, (0.30, 0.68), 0.5, 0.12, (-6.5, -4.2), 30.0, (1.0, 1.3)
+    ),
+    LinkClass.INTERNAL: LinkClassProfile(
+        100_000, (0.10, 0.45), 0.7, 0.10, (-6.5, -4.5), 25.0, (1.1, 2.8)
+    ),
+    LinkClass.CLOUD_BACKBONE: LinkClassProfile(
+        100_000, (0.05, 0.20), 0.05, 0.05, (-8.0, -6.0), 15.0, (1.0, 1.15)
+    ),
+    LinkClass.HOST_ACCESS: LinkClassProfile(100, (0.05, 0.35), 0.1, 0.08, (-6.5, -3.8), 25.0),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """An endpoint attached to the Internet behind an access link."""
+
+    host_id: int
+    name: str
+    asn: int
+    city_name: str
+    nic_mbps: float
+    rwnd_bytes: int
+    kind: str  # "planetlab" | "server" | "cloud_vm" | "generic"
+    access_link: Link
+    attachment_router_id: int
+    ip_address: str = "0.0.0.0"
+
+
+class Internet:
+    """Materialized network + simulation clock + host registry."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        streams: RandomStreams,
+        profiles: dict[LinkClass, LinkClassProfile] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.streams = streams
+        self.profiles = dict(DEFAULT_PROFILES)
+        if profiles:
+            self.profiles.update(profiles)
+        self.routers = RouterRegistry()
+        self.bgp = BgpRouting(topology)
+        self.links_by_id: dict[int, Link] = {}
+        self.hosts: dict[str, Host] = {}
+        self._interconnect: dict[frozenset[int], Link] = {}
+        self._internal: dict[tuple[int, int], Link] = {}
+        #: (src router, dst router) -> (intermediate+dst router ids, links)
+        self._internal_routes: dict[tuple[int, int], tuple[tuple[int, ...], tuple[Link, ...]]] = {}
+        self._next_link_id = 1
+        self._next_host_id = HOST_ID_BASE
+        self._clock_s = 0.0
+        self.failures = FailureSchedule(links_by_id=self.links_by_id)
+        self.addresses = AddressPlan()
+        self._path_cache: dict[tuple[str, str], RouterPath] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _link_rng(self) -> np.random.Generator:
+        return self.streams.stream("links")
+
+    def _new_link(
+        self,
+        router_a: int,
+        router_b: int,
+        link_class: LinkClass,
+        prop_delay_ms: float,
+        capacity_mbps: float | None = None,
+        peak_lon: float = 0.0,
+    ) -> Link:
+        """Create a link with class-profile-driven congestion parameters."""
+        profile = self.profiles[link_class]
+        rng = self._link_rng()
+        lo, hi = profile.util_range
+        base_util = float(rng.uniform(lo, hi))
+        log_lo, log_hi = profile.base_loss_log10_range
+        base_loss = float(10.0 ** rng.uniform(log_lo, log_hi))
+        infl_lo, infl_hi = profile.delay_inflation_range
+        prop_delay_ms = prop_delay_ms * float(rng.uniform(infl_lo, infl_hi))
+        link = Link(
+            link_id=self._next_link_id,
+            router_a=router_a,
+            router_b=router_b,
+            capacity_mbps=capacity_mbps if capacity_mbps is not None else profile.capacity_mbps,
+            prop_delay_ms=prop_delay_ms,
+            base_loss=base_loss,
+            link_class=link_class,
+            load=BackgroundLoad(
+                base_util=base_util,
+                peak_hour=peak_hour_for_longitude(peak_lon),
+                episode_rate_per_day=profile.episode_rate_per_day,
+                episode_severity=profile.episode_severity,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            ),
+            max_queue_ms=profile.max_queue_ms,
+        )
+        self._next_link_id += 1
+        self.links_by_id[link.link_id] = link
+        return link
+
+    def _build(self) -> None:
+        """Materialize routers, intra-AS meshes and inter-AS links."""
+        # Routers: one per (AS, PoP city), each with an address from
+        # its AS's block.
+        for asys in sorted(self.topology.ases.values(), key=lambda a: a.asn):
+            for city_name in asys.pop_cities:
+                router = self.routers.create(asys.asn, city_name)
+                self.addresses.assign_router(router.router_id, asys.asn)
+
+        # Intra-AS backbones.  Small ASes get a full mesh; larger ones
+        # a sparse ring-plus-nearest-neighbour backbone, so long
+        # crossings traverse intermediate PoPs — the router-level
+        # texture the diversity analysis of Sec. V-A depends on.
+        for asys in self.topology.ases.values():
+            link_class = (
+                LinkClass.CLOUD_BACKBONE if asys.kind is ASKind.CLOUD else LinkClass.INTERNAL
+            )
+            pops = self.routers.of_as(asys.asn)
+            for ra, rb in self._backbone_adjacency(pops):
+                delay = propagation_delay_ms(ra.city.point, rb.city.point, inflation=1.4)
+                link = self._new_link(
+                    ra.router_id,
+                    rb.router_id,
+                    link_class,
+                    delay,
+                    peak_lon=(ra.city.point.lon + rb.city.point.lon) / 2,
+                )
+                self._internal[(ra.router_id, rb.router_id)] = link
+                self._internal[(rb.router_id, ra.router_id)] = link
+            self._compute_internal_routes(asys.asn, pops)
+
+        # Inter-AS links at each interconnect point.
+        for relation in self.topology.relations:
+            link_class = self._classify_relation(relation.a, relation.b, relation.rel)
+            for city_a, city_b in relation.interconnect_cities:
+                ra = self.routers.at(relation.a, city_a)
+                rb = self.routers.at(relation.b, city_b)
+                key = frozenset((ra.router_id, rb.router_id))
+                if key in self._interconnect:
+                    continue
+                delay = propagation_delay_ms(ra.city.point, rb.city.point)
+                link = self._new_link(
+                    ra.router_id,
+                    rb.router_id,
+                    link_class,
+                    max(delay, 0.05),
+                    peak_lon=ra.city.point.lon,
+                )
+                self._interconnect[key] = link
+
+    @staticmethod
+    def _backbone_adjacency(pops) -> list[tuple]:
+        """Adjacency of an AS's internal backbone.
+
+        Up to 4 PoPs: full mesh.  Beyond that: a longitude-ordered ring
+        plus each PoP's two nearest other PoPs — connected, sparse, and
+        forcing long crossings through intermediate PoPs.
+        """
+        if len(pops) <= 1:
+            return []
+        if len(pops) <= 4:
+            return list(itertools.combinations(pops, 2))
+        edges: set[tuple[int, int]] = set()
+        pairs: dict[tuple[int, int], tuple] = {}
+
+        def add(ra, rb) -> None:
+            key = (min(ra.router_id, rb.router_id), max(ra.router_id, rb.router_id))
+            if key not in edges:
+                edges.add(key)
+                pairs[key] = (ra, rb)
+
+        ring = sorted(pops, key=lambda r: (r.city.point.lon, r.router_id))
+        for i, router in enumerate(ring):
+            add(router, ring[(i + 1) % len(ring)])
+        for router in pops:
+            others = sorted(
+                (o for o in pops if o.router_id != router.router_id),
+                key=lambda o: (haversine_km(router.city.point, o.city.point), o.router_id),
+            )
+            for neighbor in others[:2]:
+                add(router, neighbor)
+        return [pairs[key] for key in sorted(edges)]
+
+    def _compute_internal_routes(self, asn: int, pops) -> None:
+        """All-pairs shortest internal routes (delay-weighted)."""
+        if len(pops) <= 1:
+            return
+        import networkx as nx
+
+        graph = nx.Graph()
+        for router in pops:
+            graph.add_node(router.router_id)
+        for ra in pops:
+            for rb in pops:
+                link = self._internal.get((ra.router_id, rb.router_id))
+                if link is not None and ra.router_id < rb.router_id:
+                    graph.add_edge(
+                        ra.router_id, rb.router_id, weight=link.prop_delay_ms, link=link
+                    )
+        paths = dict(nx.all_pairs_dijkstra_path(graph))
+        for src_id, targets in paths.items():
+            for dst_id, node_path in targets.items():
+                if src_id == dst_id:
+                    continue
+                hops = [
+                    self._internal[(u, v)] for u, v in zip(node_path, node_path[1:])
+                ]
+                self._internal_routes[(src_id, dst_id)] = (tuple(node_path[1:]), tuple(hops))
+
+    def _classify_relation(self, a: int, b: int, rel: Relationship) -> LinkClass:
+        """Map an AS relationship onto a physical link class."""
+        kind_a = self.topology.ases[a].kind
+        kind_b = self.topology.ases[b].kind
+        kinds = {kind_a, kind_b}
+        if ASKind.CLOUD in kinds:
+            return LinkClass.CLOUD_TRANSIT if rel is Relationship.CUSTOMER else (
+                LinkClass.CLOUD_PEERING
+            )
+        if kinds == {ASKind.TIER1}:
+            return LinkClass.T1_PEERING
+        if ASKind.TIER1 in kinds and rel is Relationship.CUSTOMER:
+            other = kind_a if kind_b is ASKind.TIER1 else kind_b
+            return LinkClass.ACCESS if other.is_stub_like else LinkClass.T1_TRANSIT
+        if rel is Relationship.PEER:
+            return LinkClass.TRANSIT_PEERING
+        return LinkClass.ACCESS
+
+    # ------------------------------------------------------------------
+    # hosts
+    # ------------------------------------------------------------------
+    def attach_host(
+        self,
+        name: str,
+        asn: int,
+        nic_mbps: float = 100.0,
+        rwnd_bytes: int = 1_048_576,
+        kind: str = "generic",
+        access_delay_ms: float | None = None,
+        access_base_loss: float | None = None,
+        access_base_util: float | None = None,
+        city_name: str | None = None,
+    ) -> Host:
+        """Attach a host to a PoP of AS ``asn``.
+
+        The host sits behind a dedicated :data:`LinkClass.HOST_ACCESS`
+        link whose capacity is the host NIC speed.  Last-mile delay and
+        loss default to seeded draws; pass explicit values to pin them.
+        ``city_name`` selects the PoP for multi-PoP ASes (defaults to
+        the AS's first PoP).
+        """
+        if name in self.hosts:
+            raise ConfigError(f"host name {name!r} already attached")
+        asys = self.topology.ases.get(asn)
+        if asys is None:
+            raise TopologyError(f"cannot attach host to unknown AS{asn}")
+        check_positive(nic_mbps, "nic_mbps")
+        check_positive(rwnd_bytes, "rwnd_bytes")
+        if city_name is None:
+            city_name = asys.pop_cities[0]
+        elif city_name not in asys.pop_cities:
+            raise TopologyError(f"AS{asn} has no PoP in {city_name!r}")
+        pop = self.routers.at(asn, city_name)
+        rng = self.streams.stream("hosts")
+        delay = (
+            access_delay_ms if access_delay_ms is not None else float(rng.uniform(0.3, 3.0))
+        )
+        host_id = self._next_host_id
+        self._next_host_id += 1
+        link = self._new_link(
+            host_id,
+            pop.router_id,
+            LinkClass.HOST_ACCESS,
+            delay,
+            capacity_mbps=nic_mbps,
+            peak_lon=pop.city.point.lon,
+        )
+        if access_base_loss is not None:
+            link.base_loss = access_base_loss
+        if access_base_util is not None:
+            link.load.base_util = access_base_util
+        ip_address = self.addresses.assign_host(name, asn)
+        host = Host(
+            host_id=host_id,
+            name=name,
+            asn=asn,
+            city_name=city_name,
+            nic_mbps=nic_mbps,
+            rwnd_bytes=rwnd_bytes,
+            kind=kind,
+            access_link=link,
+            attachment_router_id=pop.router_id,
+            ip_address=ip_address,
+        )
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Fetch a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise ConfigError(f"unknown host {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._clock_s
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward and apply any scheduled failures."""
+        if seconds < 0:
+            raise ConfigError(f"cannot advance time by {seconds}")
+        self._clock_s += seconds
+        self.failures.apply(self._clock_s)
+        return self._clock_s
+
+    def set_time(self, t: float) -> float:
+        """Jump the clock to absolute time ``t`` (seconds, >= 0)."""
+        if t < 0:
+            raise ConfigError(f"time must be >= 0, got {t}")
+        self._clock_s = t
+        self.failures.apply(self._clock_s)
+        return self._clock_s
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+    def resolve_path(self, src_name: str, dst_name: str) -> RouterPath:
+        """Router-level forwarding path between two attached hosts.
+
+        Expands the BGP AS path: inside each AS, traffic rides the
+        internal mesh from the ingress PoP to the egress interconnect
+        chosen hot-potato (closest exit to the ingress).  Paths are
+        structural (time-independent) and cached; metrics are evaluated
+        lazily against the clock.
+        """
+        cache_key = (src_name, dst_name)
+        cached = self._path_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        src = self.host(src_name)
+        dst = self.host(dst_name)
+        if src.host_id == dst.host_id:
+            raise RoutingError(f"source and destination are the same host {src_name!r}")
+        as_path = self._select_as_path(src, dst)
+        path = self._expand_as_path(src, dst, as_path)
+        self._path_cache[cache_key] = path
+        return path
+
+    def resolve_live_path(self, src_name: str, dst_name: str) -> RouterPath:
+        """The best *currently working* path between two hosts.
+
+        BGP withdraws routes over failed links and converges onto the
+        next-best candidate; this models the post-convergence state: if
+        the preferred path is down, every exportable candidate route is
+        tried in decision-process order until one expands to a path
+        with no failed link.
+        """
+        preferred = self.resolve_path(src_name, dst_name)
+        if preferred.is_alive():
+            return preferred
+        src = self.host(src_name)
+        dst = self.host(dst_name)
+        candidates = sorted(
+            self.bgp.candidate_routes(src.asn, dst.asn),
+            key=lambda r: (r.kind, r.length, r.path),
+        )
+        for route in candidates:
+            candidate = self._expand_as_path(src, dst, route.path)
+            if candidate.is_alive():
+                return candidate
+        raise RoutingError(
+            f"no live path from {src_name!r} to {dst_name!r}: every candidate "
+            f"route crosses a failed link"
+        )
+
+    def _expand_as_path(self, src: Host, dst: Host, as_path: tuple[int, ...]) -> RouterPath:
+        """Expand an AS path to routers/links with hot-potato egress."""
+        router_ids: list[int] = [src.host_id]
+        links: list[Link] = [src.access_link]
+        current = src.attachment_router_id
+        router_ids.append(current)
+
+        for here_asn, next_asn in zip(as_path, as_path[1:]):
+            egress, ingress, cross_link = self._choose_interconnect(here_asn, next_asn, current)
+            if egress != current:
+                hop_routers, hop_links = self._internal_route(here_asn, current, egress)
+                links.extend(hop_links)
+                router_ids.extend(hop_routers)
+            links.append(cross_link)
+            router_ids.append(ingress)
+            current = ingress
+
+        if current != dst.attachment_router_id:
+            hop_routers, hop_links = self._internal_route(
+                dst.asn, current, dst.attachment_router_id
+            )
+            links.extend(hop_links)
+            router_ids.extend(hop_routers)
+        links.append(dst.access_link)
+        router_ids.append(dst.host_id)
+
+        return RouterPath(
+            src_name=src.name,
+            dst_name=dst.name,
+            router_ids=tuple(router_ids),
+            links=tuple(links),
+        )
+
+    def _select_as_path(self, src: Host, dst: Host) -> tuple[int, ...]:
+        """Per-PoP BGP selection at the source AS.
+
+        Among the source AS's equally-preferred candidate routes, break
+        the tie hot-potato: pick the route whose exit interconnect is
+        closest to the source host's attachment PoP (then the lowest
+        next-hop ASN).  A WDC VM and a Tokyo VM of the same cloud can
+        therefore leave through different neighbors — the early-exit
+        behaviour that gives CRONets its per-DC path diversity.
+        """
+        if src.asn == dst.asn:
+            return (src.asn,)
+        candidates = self.bgp.best_candidates(src.asn, dst.asn)
+        src_city = self.routers.get(src.attachment_router_id).city
+
+        def tiebreak(route) -> tuple[int, int, int]:
+            next_asn = route.path[1]
+            relation = self.topology.relation_between(src.asn, next_asn)
+            best_km = float("inf")
+            for city_a, city_b in relation.interconnect_cities:
+                egress_city = city_a if relation.a == src.asn else city_b
+                km = haversine_km(src_city.point, lookup_city(egress_city).point)
+                best_km = min(best_km, km)
+            # Coarse distance buckets: IGP metrics are not geo-precise,
+            # and near-ties break on router-level details that differ
+            # per PoP — modelled as a stable per-(PoP, next-hop) hash.
+            bucket = int(best_km // 500.0)
+            igp_noise = hash((src.attachment_router_id, next_asn, dst.asn)) & 0xFFFF
+            return (bucket, igp_noise, next_asn)
+
+        chosen = min(candidates, key=tiebreak)
+        return chosen.path
+
+    def _choose_interconnect(
+        self, here_asn: int, next_asn: int, current_router: int
+    ) -> tuple[int, int, Link]:
+        """Hot-potato egress: the interconnect whose exit PoP is nearest.
+
+        Returns (egress router in here_asn, ingress router in next_asn,
+        crossing link).
+        """
+        relation = self.topology.relation_between(here_asn, next_asn)
+        current_city = self.routers.get(current_router).city
+        best: tuple[float, int, int, Link] | None = None
+        for city_a, city_b in relation.interconnect_cities:
+            if relation.a == here_asn:
+                egress = self.routers.at(here_asn, city_a)
+                ingress = self.routers.at(next_asn, city_b)
+            else:
+                egress = self.routers.at(here_asn, city_b)
+                ingress = self.routers.at(next_asn, city_a)
+            distance = haversine_km(current_city.point, egress.city.point)
+            link = self._interconnect[frozenset((egress.router_id, ingress.router_id))]
+            candidate = (distance, egress.router_id, ingress.router_id, link)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        if best is None:  # pragma: no cover - relations always have interconnects
+            raise RoutingError(f"no interconnect between AS{here_asn} and AS{next_asn}")
+        return best[1], best[2], best[3]
+
+    def _internal_route(
+        self, asn: int, router_a: int, router_b: int
+    ) -> tuple[tuple[int, ...], tuple[Link, ...]]:
+        """Shortest intra-AS route from ``router_a`` to ``router_b``.
+
+        Returns (router ids after the start, links in order).
+        """
+        route = self._internal_routes.get((router_a, router_b))
+        if route is None:
+            raise RoutingError(
+                f"AS{asn} has no internal route between routers {router_a} and {router_b}"
+            )
+        return route
+
+    # ------------------------------------------------------------------
+    # link queries
+    # ------------------------------------------------------------------
+    def links_of_class(self, link_class: LinkClass) -> list[Link]:
+        """All links of a class, ordered by id."""
+        return [
+            link
+            for link in sorted(self.links_by_id.values(), key=lambda l: l.link_id)
+            if link.link_class is link_class
+        ]

@@ -1,0 +1,54 @@
+"""PlanetLab node distributions used by the paper's two campaigns."""
+
+from __future__ import annotations
+
+from repro.errors import PlanetLabError
+
+#: Sec. II-A: "over 100 PlanetLab nodes (48 in Europe, 45 in America,
+#: 14 in Asia, and 3 in Australia)".  "America" covers both continents;
+#: we split it 40 NA / 5 SA.
+WEBLAB_DISTRIBUTION: dict[str, int] = {"eu": 48, "na": 40, "sa": 5, "as": 14, "oc": 3}
+
+#: Sec. II-B: "50 PlanetLab nodes (26 in North and South America, 18 in
+#: Europe, 5 in Asia, and 1 in Australia)".
+CONTROLLED_DISTRIBUTION: dict[str, int] = {"na": 22, "sa": 4, "eu": 18, "as": 5, "oc": 1}
+
+
+def scale_distribution(distribution: dict[str, int], total: int) -> dict[str, int]:
+    """Scale a regional distribution down/up to ``total`` nodes.
+
+    Keeps proportions, guarantees every nonzero region keeps at least
+    one node, and hits ``total`` exactly (largest-remainder rounding).
+    """
+    if total <= 0:
+        raise PlanetLabError(f"total must be positive, got {total}")
+    source_total = sum(distribution.values())
+    if source_total <= 0:
+        raise PlanetLabError("distribution has no nodes")
+    regions_by_size = sorted(
+        (r for r in distribution if distribution[r] > 0), key=lambda r: -distribution[r]
+    )
+    # Fewer nodes than populated regions: one node each for the largest.
+    if total <= len(regions_by_size):
+        return {
+            region: (1 if region in regions_by_size[:total] else 0)
+            for region in distribution
+        }
+    raw = {
+        region: max(1, count * total // source_total) if count else 0
+        for region, count in distribution.items()
+    }
+    # Adjust to hit the exact total, nudging the largest regions but
+    # never emptying a populated one.
+    idx = 0
+    while sum(raw.values()) > total:
+        region = regions_by_size[idx % len(regions_by_size)]
+        if raw[region] > 1:
+            raw[region] -= 1
+        idx += 1
+    idx = 0
+    while sum(raw.values()) < total:
+        region = regions_by_size[idx % len(regions_by_size)]
+        raw[region] += 1
+        idx += 1
+    return raw

@@ -1,0 +1,33 @@
+"""Transport models: TCP, split-TCP, MPTCP.
+
+Two complementary engines:
+
+* **model mode** — closed-form steady-state throughput from the Mathis
+  relation plus window/bandwidth limits (:mod:`repro.transport.throughput`).
+  Fast enough for the 6,600-path campaigns.
+* **fluid mode** — a round-based congestion-window simulator
+  (:mod:`repro.transport.fluid`) where flows share link capacity tick
+  by tick.  Used for the MPTCP experiments where coupled congestion
+  control dynamics are the object of study.
+"""
+
+from repro.transport.mathis import MATHIS_CONSTANT, mathis_throughput_mbps
+from repro.transport.throughput import FlowStats, TcpParams, steady_state_throughput_mbps
+from repro.transport.tcp import TcpConnection
+from repro.transport.split import SplitTcpChain
+from repro.transport.fluid import FluidSimulator, FluidFlow
+from repro.transport.mptcp import MptcpConnection, MptcpScheme
+
+__all__ = [
+    "MATHIS_CONSTANT",
+    "mathis_throughput_mbps",
+    "FlowStats",
+    "TcpParams",
+    "steady_state_throughput_mbps",
+    "TcpConnection",
+    "SplitTcpChain",
+    "FluidSimulator",
+    "FluidFlow",
+    "MptcpConnection",
+    "MptcpScheme",
+]

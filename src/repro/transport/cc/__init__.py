@@ -1,0 +1,21 @@
+"""Congestion-control algorithms for the fluid simulator.
+
+Single-path: NewReno AIMD and CUBIC.  Multipath: the coupled
+linked-increases algorithm (LIA, RFC 6356) and OLIA (Khalili et al.),
+the algorithm the paper configures for its MPTCP validation (Sec. VI).
+"""
+
+from repro.transport.cc.base import CongestionControl, MultipathCoupler
+from repro.transport.cc.reno import RenoCC
+from repro.transport.cc.cubic import CubicCC
+from repro.transport.cc.lia import LiaCoupler
+from repro.transport.cc.olia import OliaCoupler
+
+__all__ = [
+    "CongestionControl",
+    "MultipathCoupler",
+    "RenoCC",
+    "CubicCC",
+    "LiaCoupler",
+    "OliaCoupler",
+]

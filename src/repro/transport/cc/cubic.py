@@ -1,0 +1,51 @@
+"""CUBIC (Ha, Rhee, Xu) — the paper's uncoupled baseline (Fig. 13).
+
+Window growth is a cubic function of time since the last loss::
+
+    W(t) = C * (t - K)^3 + W_max,   K = cbrt(W_max * beta / C)
+
+which probes aggressively far from ``W_max`` and cautiously near it.
+Running each MPTCP subflow with independent CUBIC makes the aggregate
+the *sum* of the paths — exactly the NIC-saturating behaviour CRONets'
+preliminary users asked for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransportError
+from repro.transport.cc.base import MIN_CWND_SEGMENTS, CongestionControl
+
+#: CUBIC scaling constant (segments / s^3), per the paper/Linux default.
+CUBIC_C = 0.4
+#: Multiplicative decrease factor (Linux uses beta = 0.3 -> w *= 0.7).
+CUBIC_BETA = 0.3
+
+
+class CubicCC(CongestionControl):
+    """CUBIC window evolution driven by per-round feedback."""
+
+    def __init__(self, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd=initial_cwnd)
+        self.w_max = initial_cwnd
+        self.time_since_loss_s = 0.0
+
+    def _k(self) -> float:
+        return (self.w_max * CUBIC_BETA / CUBIC_C) ** (1.0 / 3.0)
+
+    def on_round(self, lost: bool, rtt_s: float) -> None:
+        if rtt_s <= 0:
+            raise TransportError(f"RTT must be positive, got {rtt_s}")
+        if lost:
+            self.in_slow_start = False
+            self.w_max = self.cwnd
+            self.cwnd = max(self.cwnd * (1.0 - CUBIC_BETA), MIN_CWND_SEGMENTS)
+            self.time_since_loss_s = 0.0
+            return
+        if self.in_slow_start:
+            self.cwnd *= 2.0
+            self.w_max = self.cwnd
+            return
+        self.time_since_loss_s += rtt_s
+        target = CUBIC_C * (self.time_since_loss_s - self._k()) ** 3 + self.w_max
+        # CUBIC never shrinks below the post-loss window while probing.
+        self.cwnd = max(target, self.cwnd)

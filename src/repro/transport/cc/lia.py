@@ -1,0 +1,43 @@
+"""LIA — the coupled Linked-Increases Algorithm (RFC 6356).
+
+The design goals quoted by the paper (Sec. VI-A, citing Wischik et
+al.):
+
+1. aggregate throughput at least that of single-path TCP on the best
+   available path,
+2. never take more capacity on any path than single-path TCP would,
+3. move traffic away from congested paths.
+
+Per ACK on subflow ``i`` the window grows by
+``min(alpha / cwnd_total, 1 / cwnd_i)`` with::
+
+    alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i / rtt_i)^2
+
+We apply the per-ACK rule once per window per round (cwnd ACKs).
+"""
+
+from __future__ import annotations
+
+from repro.transport.cc.base import CoupledSubflowCC, MultipathCoupler
+
+
+class LiaCoupler(MultipathCoupler):
+    """Coupled increase shared by all subflows of one MPTCP connection."""
+
+    def _alpha(self) -> float:
+        total_cwnd = sum(sf.cwnd for sf in self.subflows)
+        if total_cwnd <= 0:
+            return 0.0
+        best = max(sf.cwnd / (sf.last_rtt_s**2) for sf in self.subflows)
+        denom = sum(sf.cwnd / sf.last_rtt_s for sf in self.subflows) ** 2
+        if denom <= 0:
+            return 0.0
+        return total_cwnd * best / denom
+
+    def increase_for(self, subflow: CoupledSubflowCC) -> float:
+        total_cwnd = sum(sf.cwnd for sf in self.subflows)
+        if total_cwnd <= 0:
+            return 0.0
+        per_ack = min(self._alpha() / total_cwnd, 1.0 / subflow.cwnd)
+        # One round delivers ~cwnd ACKs.
+        return per_ack * subflow.cwnd

@@ -1,0 +1,63 @@
+"""OLIA — the Opportunistic Linked-Increases Algorithm (Khalili et al.).
+
+The congestion control the paper configures for its MPTCP validation
+(Fig. 12).  OLIA fixes LIA's non-Pareto-optimality: it drives window
+increases by ``(w_r / rtt_r^2) / (sum_p w_p / rtt_p)^2`` and adds a
+correction term ``alpha_r / w_r`` that shifts traffic from paths with
+large windows onto *best* paths (lowest estimated loss) that currently
+have small windows — so the aggregate converges onto the best
+available path(s) without flappiness.
+
+Path quality is ranked by the smoothed loss-rate estimate each subflow
+maintains (:class:`~repro.transport.cc.base.CoupledSubflowCC`).
+"""
+
+from __future__ import annotations
+
+from repro.transport.cc.base import CoupledSubflowCC, MultipathCoupler
+
+
+class OliaCoupler(MultipathCoupler):
+    """OLIA coupling across the subflows of one MPTCP connection."""
+
+    def _partition(self) -> tuple[set[int], set[int]]:
+        """Return (best_paths, max_window_paths) as index sets.
+
+        *Best* paths minimize the estimated per-packet loss rate
+        (OLIA's stand-in for path quality); *max-window* paths hold the
+        largest current windows.
+        """
+        best_quality = min(sf.loss_rate_estimate for sf in self.subflows)
+        best = {
+            i
+            for i, sf in enumerate(self.subflows)
+            if sf.loss_rate_estimate <= best_quality * 1.05
+        }
+        max_cwnd = max(sf.cwnd for sf in self.subflows)
+        maxed = {i for i, sf in enumerate(self.subflows) if sf.cwnd >= max_cwnd * 0.95}
+        return best, maxed
+
+    def _alpha_for(self, index: int) -> float:
+        best, maxed = self._partition()
+        collected = best - maxed  # best paths that still have small windows
+        n_paths = len(self.subflows)
+        if not collected:
+            return 0.0
+        if index in collected:
+            return 1.0 / (n_paths * len(collected))
+        if index in maxed:
+            return -1.0 / (n_paths * len(maxed))
+        return 0.0
+
+    def increase_for(self, subflow: CoupledSubflowCC) -> float:
+        index = self.subflows.index(subflow)
+        denom = sum(sf.cwnd / sf.last_rtt_s for sf in self.subflows) ** 2
+        if denom <= 0:
+            return 0.0
+        base = (subflow.cwnd / subflow.last_rtt_s**2) / denom
+        alpha = self._alpha_for(index)
+        per_ack = base + alpha / subflow.cwnd
+        increase = per_ack * subflow.cwnd
+        # Never decrease faster than the correction term allows in one
+        # round; keeps the window positive between loss events.
+        return max(increase, -0.5 * subflow.cwnd)

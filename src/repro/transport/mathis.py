@@ -1,0 +1,40 @@
+"""The Mathis et al. steady-state TCP model.
+
+Equation (1) of the paper::
+
+    BW ≈ (MSS / RTT) * (1 / sqrt(p))
+
+with the standard constant ``sqrt(3/2)`` for delayed-ACK-free Reno.
+This relation is the paper's analytical backbone: it explains why a
+split-TCP proxy that halves the *perceived* RTT roughly doubles
+throughput, and why loss-rate reductions translate into gains with a
+``1/sqrt(p)`` lever.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TransportError
+
+#: sqrt(3/2) — the constant of the simplified Mathis formula.
+MATHIS_CONSTANT = math.sqrt(1.5)
+
+
+def mathis_throughput_mbps(mss_bytes: int, rtt_ms: float, loss: float) -> float:
+    """Steady-state TCP throughput in Mbps per the Mathis model.
+
+    Returns ``inf`` for zero loss (the model diverges; callers must
+    apply window/bandwidth limits separately — see
+    :func:`repro.transport.throughput.steady_state_throughput_mbps`).
+    """
+    if mss_bytes <= 0:
+        raise TransportError(f"MSS must be positive, got {mss_bytes}")
+    if rtt_ms <= 0:
+        raise TransportError(f"RTT must be positive, got {rtt_ms}")
+    if not 0.0 <= loss <= 1.0:
+        raise TransportError(f"loss must be in [0, 1], got {loss}")
+    if loss == 0.0:
+        return math.inf
+    bytes_per_sec = (mss_bytes / (rtt_ms / 1_000.0)) * MATHIS_CONSTANT / math.sqrt(loss)
+    return bytes_per_sec * 8 / 1e6

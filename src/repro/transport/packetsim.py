@@ -1,0 +1,423 @@
+"""Packet-level discrete-event TCP simulation.
+
+A third, highest-fidelity transport engine used to *validate* the
+other two on small scenarios: real segments flow through per-link FIFO
+queues with tail drop, the sender runs NewReno-style congestion
+control (slow start, AIMD congestion avoidance, fast retransmit on
+three duplicate ACKs, RTO fallback), and the receiver generates
+cumulative ACKs.
+
+It is far too slow for 6,600-path campaigns — that is the point of the
+model/fluid engines — but on a single path it confirms that their
+throughput predictions have the right Mathis-like dependence on RTT
+and loss (see ``tests/test_transport_packetsim.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TransportError
+from repro.transport.throughput import FlowStats
+from repro.units import DEFAULT_MSS
+
+#: Initial congestion window (segments), RFC 6928.
+INITIAL_CWND = 10.0
+#: Duplicate ACKs that trigger fast retransmit.
+DUPACK_THRESHOLD = 3
+#: Minimum retransmission timeout (seconds).
+MIN_RTO_S = 0.2
+
+
+@dataclass(frozen=True, slots=True)
+class SimLink:
+    """One hop of the simulated path.
+
+    ``shaper_burst_packets`` turns the hop into a software rate
+    limiter (token bucket): packets within the burst allowance pass at
+    the *line* rate of ``line_rate_mbps`` and only sustained traffic is
+    clocked at ``capacity_mbps`` — exactly how a cloud VM's virtual
+    NIC is enforced, and exactly what fools packet-dispersion
+    bandwidth estimators (Sec. II-B).
+    """
+
+    capacity_mbps: float
+    prop_delay_ms: float
+    loss_prob: float = 0.0
+    queue_packets: int = 128
+    shaper_burst_packets: int = 0
+    line_rate_mbps: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise TransportError(f"capacity must be positive, got {self.capacity_mbps}")
+        if self.prop_delay_ms < 0:
+            raise TransportError(f"negative delay: {self.prop_delay_ms}")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise TransportError(f"loss_prob must be in [0, 1), got {self.loss_prob}")
+        if self.queue_packets < 1:
+            raise TransportError(f"queue must hold >= 1 packet, got {self.queue_packets}")
+        if self.shaper_burst_packets < 0:
+            raise TransportError(
+                f"shaper burst must be >= 0, got {self.shaper_burst_packets}"
+            )
+        if self.line_rate_mbps < self.capacity_mbps:
+            raise TransportError("line rate cannot be below the shaped rate")
+
+    @property
+    def is_shaped(self) -> bool:
+        """True when this hop is a token-bucket rate limiter."""
+        return self.shaper_burst_packets > 0
+
+    def service_time_s(self, packet_bytes: int) -> float:
+        """Sustained per-packet transmission time on this link."""
+        return packet_bytes * 8 / (self.capacity_mbps * 1e6)
+
+    def line_time_s(self, packet_bytes: int) -> float:
+        """Per-packet time at the underlying line rate (shaped links)."""
+        return packet_bytes * 8 / (self.line_rate_mbps * 1e6)
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    order: int
+    kind: str = field(compare=False)
+    seq: int = field(compare=False, default=0)
+    hop: int = field(compare=False, default=0)
+
+
+class PacketLevelTcp:
+    """One TCP flow over a chain of :class:`SimLink` hops."""
+
+    def __init__(
+        self,
+        links: list[SimLink],
+        rng: np.random.Generator,
+        mss_bytes: int = DEFAULT_MSS,
+        rwnd_bytes: int = 1_048_576,
+    ) -> None:
+        if not links:
+            raise TransportError("need at least one link")
+        if mss_bytes <= 0:
+            raise TransportError(f"MSS must be positive, got {mss_bytes}")
+        self.links = list(links)
+        self.rng = rng
+        self.mss = mss_bytes
+        self.rwnd_segments = max(rwnd_bytes // mss_bytes, 2)
+
+        # Sender state.
+        self.cwnd = INITIAL_CWND
+        self.ssthresh = float("inf")
+        self.next_seq = 0  # next new segment to send
+        self.highest_acked = -1  # last cumulatively ACKed segment
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recovery_point = -1
+        self.srtt_s: float | None = None
+        self.rttvar_s = 0.0
+        self.min_rtt_s: float | None = None
+        self.rto_s = 1.0
+        self.rto_deadline: float | None = None
+        self._rto_token = 0
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+        #: Holes already repaired in the current recovery epoch (SACK
+        #: scoreboard) — cleared on RTO so lost repairs can be resent.
+        self._epoch_retx: set[int] = set()
+
+        # Receiver state.
+        self.expected_seq = 0
+        self.received: set[int] = set()
+        self._max_received = -1
+
+        # Link state: when each link's transmitter frees up, and the
+        # token buckets of shaped links, kept GCRA-style as the virtual
+        # time at which each bucket would be empty (tokens(t) =
+        # (t - empty_at) / service, capped at the burst size).
+        self._link_free_at = [0.0] * len(self.links)
+        self._shaper_empty_at = [
+            -l.shaper_burst_packets * l.service_time_s(mss_bytes) for l in self.links
+        ]
+
+        #: Optional packet trace: (time, event, seq) tuples, where
+        #: event is "data" (sender), "retx", "deliver" or "ack".
+        self.trace: list[tuple[float, str, int]] | None = None
+
+        # Statistics.
+        self.delivered_segments = 0
+        self.retransmissions = 0
+        self.rtt_samples: list[float] = []
+
+        self._queue: list[_Event] = []
+        self._order = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: str, seq: int = 0, hop: int = 0) -> None:
+        self._order += 1
+        heapq.heappush(self._queue, _Event(time=time, order=self._order, kind=kind,
+                                           seq=seq, hop=hop))
+
+    # ------------------------------------------------------------------
+    # sender
+    # ------------------------------------------------------------------
+    def _flight_size(self) -> int:
+        return self.next_seq - (self.highest_acked + 1)
+
+    def _window(self) -> float:
+        return min(self.cwnd, float(self.rwnd_segments))
+
+    def _try_send_new(self) -> None:
+        while self._flight_size() < int(self._window()):
+            seq = self.next_seq
+            self.next_seq += 1
+            self._transmit(seq, retransmission=False)
+
+    def _transmit(self, seq: int, retransmission: bool) -> None:
+        if retransmission:
+            self.retransmissions += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self._now
+        if self.trace is not None:
+            self.trace.append((self._now, "retx" if retransmission else "data", seq))
+        self._push(self._now, "enter_hop", seq=seq, hop=0)
+        if self.rto_deadline is None:
+            self._arm_rto()
+
+    def _arm_rto(self) -> None:
+        """(Re)arm the retransmission timer.
+
+        A token invalidates previously queued timer events, so the
+        event population stays O(1) instead of growing with every ACK.
+        """
+        self.rto_deadline = self._now + self.rto_s
+        self._rto_token += 1
+        self._push(self.rto_deadline, "rto_check", seq=self._rto_token)
+
+    def _update_rtt(self, seq: int) -> None:
+        # Karn's algorithm: never sample retransmitted segments.
+        if seq in self._retransmitted:
+            return
+        sent = self._send_times.get(seq)
+        if sent is None:
+            return
+        sample = self._now - sent
+        if self.srtt_s is None:
+            self.srtt_s = sample
+            self.rttvar_s = sample / 2
+        else:
+            self.rttvar_s = 0.75 * self.rttvar_s + 0.25 * abs(self.srtt_s - sample)
+            self.srtt_s = 0.875 * self.srtt_s + 0.125 * sample
+        self.rto_s = max(self.srtt_s + 4 * self.rttvar_s, 2.0 * self.srtt_s, MIN_RTO_S)
+        self.rtt_samples.append(sample)
+        # HyStart-style delay detection: leave slow start as soon as
+        # the RTT inflates noticeably — queues are building, and a
+        # burst overflow without SACK would take one RTT per hole to
+        # repair.
+        if self.min_rtt_s is None or sample < self.min_rtt_s:
+            self.min_rtt_s = sample
+        if (
+            self.cwnd < self.ssthresh
+            and sample > self.min_rtt_s * 1.5 + 0.002
+        ):
+            self.ssthresh = self.cwnd
+
+    def _on_ack(self, ack_seq: int, trigger_seq: int) -> None:
+        """Cumulative ACK; ``trigger_seq`` echoes the segment whose
+        arrival generated it (RFC 7323 timestamp semantics), which is
+        what makes RTT samples immune to head-of-line holes."""
+        if self.trace is not None:
+            self.trace.append((self._now, "ack", ack_seq))
+        self._update_rtt(trigger_seq)
+        if ack_seq > self.highest_acked:
+            newly = ack_seq - self.highest_acked
+            self.highest_acked = ack_seq
+            # Forward progress cancels any exponential RTO backoff
+            # (RFC 6298 §5.7: recompute from srtt once ACKs flow again).
+            if self.srtt_s is not None:
+                self.rto_s = max(
+                    self.srtt_s + 4 * self.rttvar_s, 2.0 * self.srtt_s, MIN_RTO_S
+                )
+            self.dupacks = 0
+            if self.in_recovery:
+                if ack_seq >= self.recovery_point:
+                    # Full ACK: leave recovery, deflate to ssthresh.
+                    self.in_recovery = False
+                    self.cwnd = self.ssthresh
+                else:
+                    # SACK-style partial ACK: repair a window's worth
+                    # of known holes, not just the first one — the
+                    # behaviour every 2015-era stack has.
+                    self._retransmit_holes(max(int(self.cwnd / 2), 1))
+            else:
+                # Window growth outside recovery.
+                for _ in range(newly):
+                    if self.cwnd < self.ssthresh:
+                        self.cwnd += 1.0  # slow start
+                    else:
+                        self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+            if self._flight_size() > 0:
+                self._arm_rto()
+            else:
+                self.rto_deadline = None
+        else:
+            self.dupacks += 1
+            if self.dupacks == DUPACK_THRESHOLD and not self.in_recovery:
+                # Fast retransmit + fast recovery entry.
+                self.ssthresh = max(self._flight_size() / 2.0, 2.0)
+                self.cwnd = self.ssthresh + DUPACK_THRESHOLD
+                self.in_recovery = True
+                self.recovery_point = self.next_seq - 1
+                self._epoch_retx = set()
+                self._retransmit_holes(max(int(self.cwnd / 2), 1))
+            elif self.in_recovery or self.dupacks > DUPACK_THRESHOLD:
+                # Window inflation: each dupack signals a departure.
+                self.cwnd += 1.0
+        self._try_send_new()
+
+    def _retransmit_holes(self, budget: int, force_first: bool = False) -> None:
+        """Repair up to ``budget`` holes below the recovery point.
+
+        Uses the receiver's out-of-order buffer as the SACK scoreboard
+        (the simulation shortcut for the SACK blocks a real receiver
+        would advertise).  A hole only counts as *lost* — not merely
+        in flight — once at least three later segments have been
+        received (the standard SACK loss inference; exact on FIFO
+        links).  ``force_first`` overrides the evidence requirement for
+        the first hole (an expired RTO is its own proof of loss).
+        Each hole is repaired once per recovery epoch.
+        """
+        sent = 0
+        seq = self.highest_acked + 1
+        first = True
+        while sent < budget and seq <= self.recovery_point:
+            if seq not in self.received and seq not in self._epoch_retx:
+                evidenced = self._max_received >= seq + DUPACK_THRESHOLD
+                if evidenced or (first and force_first):
+                    self._epoch_retx.add(seq)
+                    self._transmit(seq, retransmission=True)
+                    sent += 1
+                first = False
+            seq += 1
+
+    def _on_rto_check(self, token: int) -> None:
+        if token != self._rto_token or self.rto_deadline is None:
+            return  # superseded by a later re-arm
+        if self._now < self.rto_deadline - 1e-12:  # pragma: no cover
+            self._push(self.rto_deadline, "rto_check", seq=token)
+            return
+        if self._flight_size() == 0:
+            self.rto_deadline = None
+            return
+        # Timeout: collapse the window and resend the missing segment.
+        # Stay in (or enter) recovery up to the current high-water mark
+        # so subsequent cumulative ACKs keep clocking out hole repairs
+        # — without this, every remaining hole would cost a full RTO
+        # because the shrunken window blocks the dupack stream.
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = INITIAL_CWND / 2
+        self.in_recovery = True
+        self.recovery_point = self.next_seq - 1
+        self.dupacks = 0
+        self.rto_s = min(self.rto_s * 2.0, 60.0)
+        self._epoch_retx = set()  # a lost repair may be resent now
+        self._retransmit_holes(1, force_first=True)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # path traversal
+    # ------------------------------------------------------------------
+    def _on_enter_hop(self, seq: int, hop: int) -> None:
+        link = self.links[hop]
+        # Random loss on the wire.
+        if link.loss_prob > 0 and self.rng.random() < link.loss_prob:
+            return
+        # Tail drop when the queue is full.
+        backlog = max(self._link_free_at[hop] - self._now, 0.0)
+        service = link.service_time_s(self.mss)
+        if backlog / service >= link.queue_packets:
+            return
+        if link.is_shaped:
+            # GCRA token bucket: the bucket refills continuously at the
+            # shaped rate; each packet consumes one token (advancing
+            # the virtual empty-time by one service interval) and, if
+            # the bucket had less than a full token, waits for its
+            # token to accrue.  Within the burst allowance packets ride
+            # the line rate.
+            empty_at = max(
+                self._shaper_empty_at[hop],
+                self._now - link.shaper_burst_packets * service,
+            )
+            token_ready = max(self._now, empty_at + service)
+            self._shaper_empty_at[hop] = empty_at + service
+            # Token wait and transmitter wait overlap in time.
+            departure = max(token_ready, self._link_free_at[hop]) + link.line_time_s(
+                self.mss
+            )
+        else:
+            departure = max(self._now, self._link_free_at[hop]) + service
+        self._link_free_at[hop] = departure
+        arrival = departure + link.prop_delay_ms / 1_000.0
+        if hop + 1 < len(self.links):
+            self._push(arrival, "enter_hop", seq=seq, hop=hop + 1)
+        else:
+            self._push(arrival, "deliver", seq=seq)
+
+    def _on_deliver(self, seq: int) -> None:
+        if self.trace is not None:
+            self.trace.append((self._now, "deliver", seq))
+        self._max_received = max(self._max_received, seq)
+        if seq not in self.received:
+            self.received.add(seq)
+            if seq >= self.expected_seq:
+                while self.expected_seq in self.received:
+                    self.expected_seq += 1
+                    self.delivered_segments += 1
+        # Cumulative ACK travels back over the aggregate prop delay
+        # (ACKs are small; queuing on the reverse path is ignored).
+        # ``hop`` carries the echoed trigger segment.
+        ack_delay = sum(l.prop_delay_ms for l in self.links) / 1_000.0
+        self._push(self._now + ack_delay, "ack", seq=self.expected_seq - 1, hop=seq)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> FlowStats:
+        """Simulate a greedy transfer for ``duration_s``."""
+        if duration_s <= 0:
+            raise TransportError(f"duration must be positive, got {duration_s}")
+        self._try_send_new()
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.time > duration_s:
+                break
+            self._now = event.time
+            if event.kind == "enter_hop":
+                self._on_enter_hop(event.seq, event.hop)
+            elif event.kind == "deliver":
+                self._on_deliver(event.seq)
+            elif event.kind == "ack":
+                self._on_ack(event.seq, event.hop)
+            else:
+                self._on_rto_check(event.seq)
+
+        bytes_acked = self.delivered_segments * self.mss
+        avg_rtt_ms = (
+            1_000.0 * sum(self.rtt_samples) / len(self.rtt_samples)
+            if self.rtt_samples
+            else 2.0 * sum(l.prop_delay_ms for l in self.links)
+        )
+        return FlowStats(
+            duration_s=duration_s,
+            bytes_acked=bytes_acked,
+            bytes_retransmitted=self.retransmissions * self.mss,
+            avg_rtt_ms=avg_rtt_ms,
+            throughput_mbps=bytes_acked * 8 / duration_s / 1e6,
+        )

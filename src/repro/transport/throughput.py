@@ -1,0 +1,99 @@
+"""Steady-state TCP throughput estimation and flow statistics.
+
+A TCP connection's achievable rate is the minimum of three limits:
+
+* the bottleneck's available bandwidth,
+* the receive-window limit ``rwnd / RTT`` (PlanetLab-era hosts had
+  heterogeneous, often small, buffers — this is what makes zero-loss
+  but high-RTT paths improvable by an RTT-cutting overlay, the polarity
+  Sec. V-B observes),
+* the Mathis loss limit ``(MSS/RTT)·sqrt(3/2)/sqrt(p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransportError
+from repro.net.path import PathMetrics
+from repro.transport.mathis import mathis_throughput_mbps
+from repro.units import DEFAULT_MSS
+
+#: Throughput floor: a connection that completes at all delivers
+#: something, and ratios against zero are undefined.
+MIN_THROUGHPUT_MBPS = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class TcpParams:
+    """Endpoint/tunnel parameters of one TCP connection."""
+
+    mss_bytes: int = DEFAULT_MSS
+    rwnd_bytes: int = 1_048_576
+    #: Multiplicative efficiency (tunnel/proxy processing overhead).
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise TransportError(f"MSS must be positive, got {self.mss_bytes}")
+        if self.rwnd_bytes < self.mss_bytes:
+            raise TransportError(
+                f"rwnd ({self.rwnd_bytes}) must hold at least one MSS ({self.mss_bytes})"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise TransportError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    def with_mss(self, mss_bytes: int) -> "TcpParams":
+        """Copy with a different MSS (tunnel encapsulation shrinks it)."""
+        return TcpParams(
+            mss_bytes=mss_bytes, rwnd_bytes=self.rwnd_bytes, efficiency=self.efficiency
+        )
+
+    def with_efficiency(self, efficiency: float) -> "TcpParams":
+        """Copy with a different processing-efficiency factor."""
+        return TcpParams(
+            mss_bytes=self.mss_bytes, rwnd_bytes=self.rwnd_bytes, efficiency=efficiency
+        )
+
+
+def steady_state_throughput_mbps(metrics: PathMetrics, params: TcpParams) -> float:
+    """Steady-state throughput of one TCP flow over a path snapshot."""
+    if metrics.loss >= 1.0:
+        return 0.0
+    rtt_s = metrics.rtt_ms / 1_000.0
+    if rtt_s <= 0:
+        raise TransportError(f"RTT must be positive, got {metrics.rtt_ms} ms")
+    rwnd_limit = params.rwnd_bytes * 8 / rtt_s / 1e6
+    limits = [metrics.available_bw_mbps, metrics.capacity_mbps, rwnd_limit]
+    if metrics.loss > 0.0:
+        limits.append(mathis_throughput_mbps(params.mss_bytes, metrics.rtt_ms, metrics.loss))
+    return max(min(limits) * params.efficiency, MIN_THROUGHPUT_MBPS)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowStats:
+    """What a finished (or sampled) transfer reports.
+
+    These are the quantities the paper's toolchain extracts: iperf
+    reads ``throughput_mbps``; tstat derives the retransmission rate
+    (``bytes_retransmitted / bytes_acked``) and the average RTT.
+    """
+
+    duration_s: float
+    bytes_acked: int
+    bytes_retransmitted: int
+    avg_rtt_ms: float
+    throughput_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise TransportError(f"duration must be positive, got {self.duration_s}")
+        if self.bytes_acked < 0 or self.bytes_retransmitted < 0:
+            raise TransportError("byte counters must be non-negative")
+
+    @property
+    def retransmission_rate(self) -> float:
+        """Retransmitted bytes over acked bytes (tstat's loss proxy)."""
+        if self.bytes_acked == 0:
+            return 0.0
+        return self.bytes_retransmitted / self.bytes_acked

@@ -1,0 +1,23 @@
+"""Tunnels, NAT and overlay-node behaviour.
+
+A CRONets overlay node is a rented cloud VM that (Sec. II):
+
+* terminates a GRE or IPsec tunnel from one endpoint,
+* runs IP masquerade (NAT) so *return* traffic from the far endpoint
+  also rides the overlay without a second tunnel, and
+* either forwards packets (plain overlay) or terminates TCP as a
+  split-TCP proxy.
+"""
+
+from repro.tunnel.encap import TunnelSpec, TunnelType
+from repro.tunnel.nat import MasqueradeNat, NatBinding
+from repro.tunnel.node import NodeMode, OverlayNode
+
+__all__ = [
+    "TunnelSpec",
+    "TunnelType",
+    "MasqueradeNat",
+    "NatBinding",
+    "NodeMode",
+    "OverlayNode",
+]

@@ -1,0 +1,101 @@
+"""The overlay node: a cloud VM acting as tunnel relay or split proxy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TunnelError
+from repro.net.world import Host
+from repro.tunnel.encap import TunnelSpec, TunnelType
+from repro.tunnel.nat import MasqueradeNat
+
+
+class NodeMode(enum.Enum):
+    """What the overlay node does with traversing traffic."""
+
+    FORWARD = "forward"  # decapsulate, NAT, forward (plain overlay)
+    SPLIT = "split"  # terminate TCP, relay bytes (split-overlay)
+
+
+#: Userspace forwarding adds a little latency per direction.
+FORWARD_DELAY_MS = 0.15
+#: Relay efficiency of kernel forwarding (near line rate).
+FORWARD_EFFICIENCY = 0.995
+#: Relay efficiency of the split-TCP proxy (copies through userspace).
+SPLIT_EFFICIENCY = 0.98
+
+
+@dataclass
+class OverlayNode:
+    """A rented VM configured as a CRONets relay.
+
+    ``host`` is the VM's attachment in the simulated Internet.  Tunnels
+    are established from *client* endpoints only; the server side rides
+    the NAT (Sec. II: "without having to establish any tunnel with that
+    other endpoint").
+    """
+
+    host: Host
+    mode: NodeMode = NodeMode.FORWARD
+    nat: MasqueradeNat = field(default_factory=lambda: MasqueradeNat("0.0.0.0"))
+    tunnels: dict[str, TunnelSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.host.kind != "cloud_vm":
+            raise TunnelError(
+                f"overlay nodes must run on cloud VMs, got host kind {self.host.kind!r}"
+            )
+        # Bind the NAT to the VM's public address.
+        if self.nat.nat_ip == "0.0.0.0":
+            public_ip = self.host.ip_address
+            if public_ip == "0.0.0.0":
+                public_ip = f"10.{self.host.host_id % 256}.0.1"
+            self.nat = MasqueradeNat(public_ip)
+
+    @property
+    def name(self) -> str:
+        """The overlay node's name (its VM host name)."""
+        return self.host.name
+
+    def establish_tunnel(
+        self, client_name: str, tunnel_type: TunnelType = TunnelType.GRE
+    ) -> TunnelSpec:
+        """Bring up (or return the existing) tunnel from a client."""
+        existing = self.tunnels.get(client_name)
+        if existing is not None:
+            return existing
+        spec = TunnelSpec(tunnel_type=tunnel_type)
+        self.tunnels[client_name] = spec
+        return spec
+
+    def tear_down_tunnel(self, client_name: str) -> None:
+        """Remove a client's tunnel."""
+        if client_name not in self.tunnels:
+            raise TunnelError(f"no tunnel from {client_name!r} at node {self.name}")
+        del self.tunnels[client_name]
+
+    def tunnel_for(self, client_name: str) -> TunnelSpec:
+        """The tunnel spec for a client, which must already exist."""
+        spec = self.tunnels.get(client_name)
+        if spec is None:
+            raise TunnelError(f"no tunnel from {client_name!r} at node {self.name}")
+        return spec
+
+    @property
+    def relay_efficiency(self) -> float:
+        """Throughput efficiency of the relay function in this mode."""
+        return FORWARD_EFFICIENCY if self.mode is NodeMode.FORWARD else SPLIT_EFFICIENCY
+
+    @property
+    def added_delay_ms(self) -> float:
+        """One-way latency the node adds to traversing packets."""
+        return FORWARD_DELAY_MS if self.mode is NodeMode.FORWARD else 2 * FORWARD_DELAY_MS
+
+    def with_mode(self, mode: NodeMode) -> "OverlayNode":
+        """A view of the same node operating in a different mode.
+
+        Shares the host, NAT and tunnels — the paper measures the same
+        node both as a plain relay and as a split proxy.
+        """
+        return OverlayNode(host=self.host, mode=mode, nat=self.nat, tunnels=self.tunnels)

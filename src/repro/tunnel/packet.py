@@ -1,0 +1,105 @@
+"""Packet-level view of the overlay relay pipeline.
+
+The throughput models work at flow level, but the *correctness* of the
+CRONets data plane — encapsulate at the client, decapsulate + NAT at
+the overlay node, un-NAT + re-encapsulate for the return traffic — is
+a per-packet contract.  This module implements it so tests can drive
+a packet through the full round trip of Fig. 1 and check every header
+transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TunnelError
+from repro.tunnel.encap import TunnelSpec
+from repro.units import IPV4_HEADER, TCP_HEADER
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A plain (inner) IP packet with its transport header."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: str  # "tcp" | "udp"
+    src_port: int
+    dst_port: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise TunnelError(f"negative payload: {self.payload_bytes}")
+        for port in (self.src_port, self.dst_port):
+            if not 0 < port <= 65_535:
+                raise TunnelError(f"invalid port {port}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on the wire: IP + TCP/UDP headers + payload."""
+        transport = TCP_HEADER if self.protocol == "tcp" else 8
+        return IPV4_HEADER + transport + self.payload_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class EncapsulatedPacket:
+    """An inner packet wrapped in a tunnel header."""
+
+    outer_src_ip: str
+    outer_dst_ip: str
+    tunnel: TunnelSpec
+    inner: Packet
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on the wire including the tunnel overhead."""
+        return self.inner.wire_bytes + self.tunnel.tunnel_type.overhead_bytes
+
+    def fits_mtu(self) -> bool:
+        """Whether the encapsulated packet avoids fragmentation."""
+        return self.wire_bytes <= self.tunnel.mtu_bytes
+
+
+def encapsulate(
+    packet: Packet, tunnel: TunnelSpec, tunnel_src_ip: str, tunnel_dst_ip: str
+) -> EncapsulatedPacket:
+    """Wrap a packet for the client→overlay-node tunnel leg.
+
+    Raises when the inner packet would not fit the tunnel MTU — the
+    client stack must honour the reduced ``inner_mss_bytes``.
+    """
+    wrapped = EncapsulatedPacket(
+        outer_src_ip=tunnel_src_ip,
+        outer_dst_ip=tunnel_dst_ip,
+        tunnel=tunnel,
+        inner=packet,
+    )
+    if not wrapped.fits_mtu():
+        raise TunnelError(
+            f"packet of {packet.wire_bytes} B does not fit tunnel MTU "
+            f"{tunnel.mtu_bytes} with {tunnel.tunnel_type.value} overhead"
+        )
+    return wrapped
+
+
+def decapsulate(wrapped: EncapsulatedPacket, expected_dst_ip: str) -> Packet:
+    """Unwrap at the overlay node; validates addressing."""
+    if wrapped.outer_dst_ip != expected_dst_ip:
+        raise TunnelError(
+            f"tunnel packet addressed to {wrapped.outer_dst_ip}, "
+            f"this node is {expected_dst_ip}"
+        )
+    return wrapped.inner
+
+
+def masquerade_outbound(packet: Packet, nat) -> Packet:
+    """Rewrite the source to the node's public address (outbound NAT)."""
+    binding = nat.translate(packet.protocol, packet.src_ip, packet.src_port)
+    return replace(packet, src_ip=binding.nat_ip, src_port=binding.nat_port)
+
+
+def masquerade_return(packet: Packet, nat) -> Packet:
+    """Rewrite the destination back to the original client (return NAT)."""
+    binding = nat.untranslate(packet.protocol, packet.dst_port)
+    return replace(packet, dst_ip=binding.src_ip, dst_port=binding.src_port)

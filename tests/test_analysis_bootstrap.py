@@ -1,0 +1,82 @@
+"""Bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    fraction_above_ci,
+    mean_ci,
+    median_ci,
+)
+from repro.errors import AnalysisError
+
+
+class TestConfidenceInterval:
+    def test_contains_and_width(self):
+        ci = ConfidenceInterval(point=1.0, low=0.5, high=1.5, confidence=0.95)
+        assert ci.contains(1.0)
+        assert not ci.contains(2.0)
+        assert ci.width == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ConfidenceInterval(point=1.0, low=2.0, high=1.0, confidence=0.95)
+        with pytest.raises(AnalysisError):
+            ConfidenceInterval(point=1.0, low=0.0, high=2.0, confidence=1.5)
+
+
+class TestBootstrap:
+    def test_median_ci_covers_truth(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(loc=10.0, scale=2.0, size=500)
+        ci = median_ci(list(data), np.random.default_rng(2))
+        assert ci.contains(10.0)
+        assert ci.width < 1.0  # n=500 keeps it tight
+
+    def test_mean_ci_covers_truth(self):
+        rng = np.random.default_rng(3)
+        data = rng.exponential(scale=5.0, size=800)
+        ci = mean_ci(list(data), np.random.default_rng(4))
+        assert ci.contains(5.0)
+
+    def test_fraction_above(self):
+        data = [0.5] * 40 + [1.5] * 60
+        ci = fraction_above_ci(data, 1.0, np.random.default_rng(5))
+        assert ci.point == pytest.approx(0.6)
+        assert ci.contains(0.6)
+
+    def test_more_data_tightens(self):
+        rng = np.random.default_rng(6)
+        small = list(rng.normal(size=30))
+        big = list(rng.normal(size=3_000))
+        ci_small = mean_ci(small, np.random.default_rng(7))
+        ci_big = mean_ci(big, np.random.default_rng(7))
+        assert ci_big.width < ci_small.width
+
+    def test_deterministic_given_rng_seed(self):
+        data = list(np.random.default_rng(8).normal(size=100))
+        a = median_ci(data, np.random.default_rng(9))
+        b = median_ci(data, np.random.default_rng(9))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([], np.mean, rng)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0], np.mean, rng, resamples=5)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0], np.mean, rng, confidence=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=5, max_size=80))
+def test_interval_brackets_point(data):
+    """The point estimate always falls inside its own interval."""
+    ci = mean_ci(data, np.random.default_rng(1), confidence=0.9)
+    assert ci.low - 1e-9 <= ci.point <= ci.high + 1e-9

@@ -1,0 +1,131 @@
+"""The C4.5 decision tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.c45 import C45Tree, _entropy, _pessimistic_error
+from repro.errors import AnalysisError
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert _entropy(0, 10) == 0.0
+        assert _entropy(10, 10) == 0.0
+
+    def test_balanced_is_one(self):
+        assert _entropy(5, 10) == pytest.approx(1.0)
+
+    def test_pessimistic_error_above_observed(self):
+        assert _pessimistic_error(2, 100) > 0.02
+        assert _pessimistic_error(0, 0) == 0.0
+
+
+def threshold_data(threshold=0.3, n=200, seed=0):
+    """Linearly separable 1-D data: positive iff x > threshold."""
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, 1.0, size=n)
+    return [[float(x)] for x in xs], [bool(x > threshold) for x in xs]
+
+
+class TestFitPredict:
+    def test_learns_single_threshold(self):
+        features, labels = threshold_data()
+        tree = C45Tree(["x"], min_samples_leaf=2).fit(features, labels)
+        assert tree.accuracy(features, labels) >= 0.99
+        assert tree.predict([0.9]) is True
+        assert tree.predict([0.05]) is False
+
+    def test_extracted_threshold_close(self):
+        features, labels = threshold_data(threshold=0.3)
+        tree = C45Tree(["x"], min_samples_leaf=2).fit(features, labels)
+        positive = tree.rules(label=True)
+        bounds = [r.lower_bounds().get("x") for r in positive if r.lower_bounds()]
+        assert bounds and min(bounds) == pytest.approx(0.3, abs=0.05)
+
+    def test_learns_conjunction(self):
+        """The paper's shape: positive iff BOTH reductions are large."""
+        rng = np.random.default_rng(3)
+        features = [[float(a), float(b)] for a, b in rng.uniform(0, 1, size=(400, 2))]
+        labels = [a > 0.105 and b > 0.121 for a, b in features]
+        tree = C45Tree(["rtt", "loss"], min_samples_leaf=3).fit(features, labels)
+        assert tree.accuracy(features, labels) >= 0.97
+        both = [
+            r.lower_bounds()
+            for r in tree.rules(label=True)
+            if set(r.lower_bounds()) == {"rtt", "loss"}
+        ]
+        assert both, "expected a rule bounding both features"
+        assert both[0]["rtt"] == pytest.approx(0.105, abs=0.05)
+        assert both[0]["loss"] == pytest.approx(0.121, abs=0.05)
+
+    def test_pruning_collapses_label_noise(self):
+        """A noisy threshold function prunes back to the real split."""
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(0.0, 1.0, 400)
+        features = [[float(x)] for x in xs]
+        labels = [bool((x > 0.7) != (rng.random() < 0.05)) for x in xs]
+        pruned = C45Tree(["x"], min_samples_leaf=5, prune=True).fit(features, labels)
+        grown = C45Tree(["x"], min_samples_leaf=5, prune=False).fit(features, labels)
+        assert grown.depth() > 2  # noise grew spurious structure...
+        assert pruned.depth() <= 2  # ...which pruning removed
+        assert len(pruned.rules()) < len(grown.rules())
+
+    def test_depth_limit(self):
+        features, labels = threshold_data(n=500)
+        tree = C45Tree(["x"], max_depth=1, min_samples_leaf=2).fit(features, labels)
+        assert tree.depth() <= 1
+
+    def test_rules_partition_input_space(self):
+        features, labels = threshold_data()
+        tree = C45Tree(["x"], min_samples_leaf=2).fit(features, labels)
+        rules = tree.rules()
+        assert sum(r.support for r in rules) == len(labels)
+        for rule in rules:
+            assert 0.0 < rule.confidence <= 1.0
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(AnalysisError):
+            C45Tree([])
+        with pytest.raises(AnalysisError):
+            C45Tree(["x"], min_samples_leaf=0)
+        with pytest.raises(AnalysisError):
+            C45Tree(["x"], max_depth=0)
+
+    def test_bad_fit_inputs(self):
+        tree = C45Tree(["x"])
+        with pytest.raises(AnalysisError):
+            tree.fit([], [])
+        with pytest.raises(AnalysisError):
+            tree.fit([[1.0]], [True, False])
+        with pytest.raises(AnalysisError):
+            tree.fit([[1.0, 2.0]], [True])
+
+    def test_unfitted_rejected(self):
+        tree = C45Tree(["x"])
+        with pytest.raises(AnalysisError):
+            tree.predict([0.5])
+        with pytest.raises(AnalysisError):
+            tree.rules()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(0, 1), st.floats(0, 1), st.booleans()),
+        min_size=12,
+        max_size=120,
+    )
+)
+def test_predictions_always_defined(data):
+    """Whatever the training set, every point gets a boolean answer."""
+    features = [[a, b] for a, b, _l in data]
+    labels = [l for _a, _b, l in data]
+    tree = C45Tree(["a", "b"], min_samples_leaf=2).fit(features, labels)
+    for row in features:
+        assert tree.predict(row) in (True, False)
+    assert 0.0 <= tree.accuracy(features, labels) <= 1.0

@@ -1,0 +1,165 @@
+"""CDFs, improvement statistics, binning, table rendering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    BinStat,
+    EmpiricalCDF,
+    bin_stats,
+    format_series,
+    format_table,
+    summarize_ratios,
+)
+from repro.analysis.binning import LOSS_BIN_EDGES, RTT_BIN_EDGES_MS
+from repro.analysis.improvement import increase_ratio
+from repro.errors import AnalysisError
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9)
+
+
+class TestEmpiricalCDF:
+    def test_evaluate(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_fraction_above(self):
+        cdf = EmpiricalCDF([0.5, 1.5, 2.5, 3.5])
+        assert cdf.fraction_above(1.0) == 0.75
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.median == 50
+        assert cdf.quantile(1.0) == 100
+        with pytest.raises(AnalysisError):
+            cdf.quantile(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalCDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_series_shape(self):
+        cdf = EmpiricalCDF(range(100))
+        series = cdf.series(10)
+        assert len(series) == 10
+        ys = [y for _x, y in series]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=300))
+    def test_cdf_invariants(self, values):
+        """Monotone, bounded in [0,1], quantile inverts evaluate."""
+        cdf = EmpiricalCDF(values)
+        lo, hi = min(values), max(values)
+        assert cdf.evaluate(lo - 1) == 0.0
+        assert cdf.evaluate(hi) == 1.0
+        prev = 0.0
+        for x, y in cdf.series(20):
+            assert 0.0 <= y <= 1.0
+            assert y >= prev
+            prev = y
+        for q in (0.25, 0.5, 0.75, 1.0):
+            assert cdf.evaluate(cdf.quantile(q)) >= q - 1e-9
+
+
+class TestImprovementSummary:
+    def test_reference_values(self):
+        ratios = [0.5, 0.9, 1.1, 2.0, 4.0]
+        summary = summarize_ratios(ratios)
+        assert summary.count == 5
+        assert summary.fraction_improved == pytest.approx(0.6)
+        assert summary.mean_factor_improved == pytest.approx((1.1 + 2.0 + 4.0) / 3)
+        assert summary.median_factor_improved == pytest.approx(2.0)
+        assert summary.fraction_at_least_25pct == pytest.approx(0.4)
+
+    def test_no_improved(self):
+        summary = summarize_ratios([0.5, 0.8])
+        assert summary.fraction_improved == 0.0
+        assert summary.mean_factor_improved == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            summarize_ratios([])
+        with pytest.raises(AnalysisError):
+            summarize_ratios([-0.1])
+
+    def test_increase_ratio(self):
+        assert increase_ratio(10.0, 30.0) == pytest.approx(2.0)
+        assert increase_ratio(10.0, 5.0) == pytest.approx(-0.5)
+        with pytest.raises(AnalysisError):
+            increase_ratio(0.0, 5.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    def test_summary_bounds(self, ratios):
+        summary = summarize_ratios(ratios)
+        assert 0.0 <= summary.fraction_improved <= 1.0
+        assert summary.fraction_at_least_25pct <= summary.fraction_improved + 1e-9
+
+
+class TestBinning:
+    def test_paper_bin_edges(self):
+        assert RTT_BIN_EDGES_MS == (0.0, 70.0, 140.0, 210.0, 280.0)  # Fig. 9
+        assert len(LOSS_BIN_EDGES) == 4  # Fig. 10
+
+    def test_binning_reference(self):
+        stats = bin_stats(
+            attributes=[10, 80, 150, 300, 320],
+            ratios=[0.5, 1.5, 2.0, 3.0, 5.0],
+            edges=RTT_BIN_EDGES_MS,
+        )
+        assert [b.count for b in stats] == [1, 1, 1, 0, 2]
+        last = stats[-1]
+        assert last.median_ratio == pytest.approx(4.0)
+        assert last.fraction_improved == 1.0
+        assert stats[0].fraction_improved == 0.0
+
+    def test_zero_loss_bin_isolated(self):
+        stats = bin_stats([0.0, 0.0, 1e-3], [1.0, 2.0, 3.0], LOSS_BIN_EDGES)
+        assert stats[0].count == 2  # the [0] bin
+        assert stats[1].count == 1
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bin_stats([], [], RTT_BIN_EDGES_MS)
+        with pytest.raises(AnalysisError):
+            bin_stats([1.0], [1.0, 2.0], RTT_BIN_EDGES_MS)
+        with pytest.raises(AnalysisError):
+            bin_stats([-5.0], [1.0], RTT_BIN_EDGES_MS)
+        with pytest.raises(AnalysisError):
+            bin_stats([1.0], [1.0], (10.0, 0.0))
+
+    def test_labels(self):
+        stats = bin_stats([10.0], [1.0], (0.0, 70.0))
+        assert stats[0].label == "[0,70)"
+        assert stats[1].label == "[70,inf)"
+        assert isinstance(stats[0], BinStat)
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [33, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_validates(self):
+        with pytest.raises(AnalysisError):
+            format_table([], [])
+        with pytest.raises(AnalysisError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("x", [(1.0, 0.5), (2.0, 1.0)])
+        assert text.splitlines()[0] == "# series: x"
+        assert len(text.splitlines()) == 3
+        with pytest.raises(AnalysisError):
+            format_series("x", [])

@@ -1,0 +1,96 @@
+"""Diversity scores and segment-location analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diversity import (
+    diversity_score,
+    end_segment_share,
+    segment_location_shares,
+)
+from repro.errors import AnalysisError
+from repro.net.congestion import BackgroundLoad
+from repro.net.links import Link, LinkClass
+from repro.net.path import RouterPath
+from repro.net.world import HOST_ID_BASE
+
+
+def make_path(router_ids):
+    """A path through the given ids, with hosts at both ends."""
+    ids = [HOST_ID_BASE + 1, *router_ids, HOST_ID_BASE + 2]
+    links = tuple(
+        Link(
+            link_id=i + 1,
+            router_a=a,
+            router_b=b,
+            capacity_mbps=100.0,
+            prop_delay_ms=1.0,
+            base_loss=0.0,
+            link_class=LinkClass.INTERNAL,
+            load=BackgroundLoad(base_util=0.1),
+        )
+        for i, (a, b) in enumerate(zip(ids, ids[1:]))
+    )
+    return RouterPath(src_name="a", dst_name="b", router_ids=tuple(ids), links=links)
+
+
+class TestDiversityScore:
+    def test_identical_paths_score_zero(self):
+        path = make_path([1, 2, 3, 4])
+        assert diversity_score(path, path) == 0.0
+
+    def test_fully_disjoint_scores_one(self):
+        direct = make_path([1, 2, 3, 4])
+        overlay = make_path([5, 6, 7])
+        assert diversity_score(direct, overlay) == 1.0
+
+    def test_partial_overlap(self):
+        direct = make_path([1, 2, 3, 4])
+        overlay = make_path([1, 9, 8, 4])
+        assert diversity_score(direct, overlay) == pytest.approx(0.5)
+
+    def test_hosts_do_not_count(self):
+        """The shared endpoints must not depress the score."""
+        direct = make_path([1, 2])
+        overlay = make_path([3, 4])
+        assert diversity_score(direct, overlay) == 1.0
+
+
+class TestSegmentShares:
+    def test_end_heavy_overlap(self):
+        # Common routers at positions 0 and 8 of 9 -> first and last thirds.
+        direct = make_path([1, 2, 3, 4, 5, 6, 7, 8, 9])
+        overlay = make_path([1, 20, 21, 9])
+        shares = segment_location_shares(direct, overlay)
+        assert shares == (0.5, 0.0, 0.5)
+
+    def test_middle_overlap(self):
+        direct = make_path([1, 2, 3, 4, 5, 6])
+        overlay = make_path([10, 3, 4, 11])
+        shares = segment_location_shares(direct, overlay)
+        assert shares[1] == 1.0
+
+    def test_no_overlap(self):
+        direct = make_path([1, 2, 3])
+        overlay = make_path([4, 5, 6])
+        assert segment_location_shares(direct, overlay) == (0.0, 0.0, 0.0)
+
+    def test_end_segment_share_aggregation(self):
+        shares = [(0.5, 0.0, 0.5), (0.25, 0.5, 0.25), (0.0, 0.0, 0.0)]
+        # The no-overlap path contributes nothing.
+        assert end_segment_share(shares) == pytest.approx((1.0 + 0.5) / 2)
+        with pytest.raises(AnalysisError):
+            end_segment_share([(0.0, 0.0, 0.0)])
+
+
+class TestOnRealWorld:
+    def test_overlay_diversity_in_range(self, small_internet):
+        direct = small_internet.resolve_path("client", "server")
+        leg1 = small_internet.resolve_path("client", "vm")
+        leg2 = small_internet.resolve_path("vm", "server")
+        overlay = leg1.concatenate(leg2)
+        score = diversity_score(direct, overlay)
+        assert 0.0 <= score <= 1.0
+        shares = segment_location_shares(direct, overlay)
+        assert sum(shares) == pytest.approx(1.0) or sum(shares) == 0.0

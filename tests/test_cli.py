@@ -1,0 +1,48 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_world_summary(self, capsys):
+        assert main(["world", "--seed", "3", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "ASes:" in out
+        assert "clients: 12" in out
+
+    def test_run_fig2_small(self, capsys):
+        assert main(["run", "fig2", "--seed", "3", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_run_cost_small(self, capsys):
+        assert main(["run", "cost", "--seed", "3", "--scale", "small"]) == 0
+        assert "cost ratio" in capsys.readouterr().out
+
+    def test_run_with_json_dump(self, capsys, tmp_path):
+        target = tmp_path / "fig2.json"
+        assert main(
+            ["run", "fig2", "--seed", "3", "--scale", "small", "--out", str(target)]
+        ) == 0
+        data = json.loads(target.read_text())
+        assert "pairs" in data
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_run_multihop(self, capsys):
+        assert main(["run", "multihop", "--seed", "3", "--scale", "small"]) == 0
+        assert "two-hop" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""MPTCP proxy pairs (the Sec. VI-A deployment model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.proxy import MptcpProxyPair
+from repro.errors import ConfigError
+from repro.transport.mptcp import MptcpScheme
+from repro.tunnel.node import OverlayNode
+
+T0 = 6 * 3_600.0
+
+
+@pytest.fixture()
+def proxy_pair(small_internet):
+    node = OverlayNode(host=small_internet.host("vm"))
+    return MptcpProxyPair(
+        internet=small_internet,
+        site_a="client",
+        site_b="server",
+        nodes=(node,),
+    )
+
+
+class TestProxyPair:
+    def test_subflow_paths_shape(self, proxy_pair):
+        paths = proxy_pair.subflow_paths()
+        assert len(paths) == proxy_pair.subflow_count == 2
+        # First is the direct path; second reflects off the node.
+        assert paths[0].dst_name == "server"
+        vm_id = proxy_pair.internet.host("vm").host_id
+        assert vm_id not in paths[0].router_ids
+        assert vm_id in paths[1].router_ids
+
+    def test_transfer_aggregates_subflows(self, proxy_pair):
+        stats = proxy_pair.transfer(T0, 10.0, np.random.default_rng(2))
+        assert stats.throughput_mbps > 0
+        assert len(stats.subflows) == 2
+
+    def test_same_site_rejected(self, small_internet):
+        with pytest.raises(ConfigError):
+            MptcpProxyPair(
+                internet=small_internet, site_a="client", site_b="client", nodes=()
+            )
+
+    def test_scheme_selection(self, small_internet):
+        node = OverlayNode(host=small_internet.host("vm"))
+        pair = MptcpProxyPair(
+            internet=small_internet,
+            site_a="client",
+            site_b="server",
+            nodes=(node,),
+            scheme=MptcpScheme.UNCOUPLED_CUBIC,
+        )
+        assert pair.connection().scheme is MptcpScheme.UNCOUPLED_CUBIC
+
+    def test_failover_keeps_connection_alive(self, proxy_pair):
+        """Sec. VI-A: 'If the default Internet path fails, the two
+        proxies can still continue their connections through the
+        overlay paths.'"""
+        direct, overlay = proxy_pair.subflow_paths()
+        victim = next(
+            link
+            for link in direct.links
+            if all(link is not other for other in overlay.links)
+        )
+
+        def fail_early(_sim, elapsed):
+            if elapsed >= 2.0 and not victim.failed:
+                victim.fail()
+
+        try:
+            stats = proxy_pair.transfer(
+                T0, 20.0, np.random.default_rng(4), on_tick=fail_early
+            )
+        finally:
+            victim.restore()
+        assert stats.subflows[1].throughput_mbps > 0.05

@@ -1,0 +1,62 @@
+"""MPTCP validation experiment (E10/E11) at miniature scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.mptcp_exp import (
+    MptcpExpConfig,
+    REGIONAL_DCS,
+    build_mptcp_world,
+    run_mptcp_experiment,
+)
+from repro.transport.mptcp import MptcpScheme
+
+MINI = dict(n_paths=3, iterations=1, duration_s=10.0, tick_s=0.02)
+
+
+@pytest.fixture(scope="module")
+def olia_result():
+    return run_mptcp_experiment(MptcpExpConfig(seed=5, **MINI))
+
+
+class TestWorld:
+    def test_nine_servers_three_regions(self):
+        internet, servers = build_mptcp_world(seed=5)
+        assert len(servers) == 9
+        regions = {s.datacenter.city.region for s in servers}
+        assert regions == {"na", "eu", "as"}
+        assert sum(len(dcs) for dcs in REGIONAL_DCS.values()) == 9
+        # Cross-region pairs traverse the public Internet (different ASes).
+        a, b = servers[0], servers[-1]
+        assert internet.host(a.name).asn != internet.host(b.name).asn
+
+
+class TestOlia:
+    def test_mptcp_tracks_best_overlay(self, olia_result):
+        """Fig. 12: MPTCP ≈ max observed overlay throughput."""
+        assert olia_result.median_mptcp_vs_best_overlay() > 0.5
+
+    def test_mptcp_not_below_direct(self, olia_result):
+        assert olia_result.fraction_mptcp_at_least_direct() >= 0.5
+
+    def test_render(self, olia_result):
+        text = olia_result.render()
+        assert "Fig. 12" in text
+        assert "MPTCP" in text
+
+
+class TestCubic:
+    def test_uncoupled_beats_coupled(self, olia_result):
+        """Fig. 13 vs Fig. 12: uncoupled CUBIC aggregates the paths."""
+        cubic = run_mptcp_experiment(
+            MptcpExpConfig(seed=5, scheme=MptcpScheme.UNCOUPLED_CUBIC, **MINI)
+        )
+        assert cubic.median_mptcp_mbps() > olia_result.median_mptcp_mbps()
+        assert "Fig. 13" in cubic.render()
+
+    def test_cubic_below_nic_limit(self):
+        cubic = run_mptcp_experiment(
+            MptcpExpConfig(seed=5, scheme=MptcpScheme.UNCOUPLED_CUBIC, **MINI)
+        )
+        assert cubic.median_mptcp_mbps() <= 100.0

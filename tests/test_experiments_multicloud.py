@@ -1,0 +1,56 @@
+"""Multi-cloud deployment comparison (extension experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multicloud import run_multicloud
+from repro.experiments.scenario import build_world
+
+
+@pytest.fixture(scope="module")
+def multicloud():
+    return run_multicloud(seed=13, scale="small", n_pairs=6)
+
+
+class TestExtraProviders:
+    def test_world_carries_extra_clouds(self):
+        world = build_world(
+            seed=13, scale="small", extra_providers={"other": ("london", "seattle")}
+        )
+        assert world.extra_clouds is not None
+        other = world.extra_clouds["other"]
+        assert other.asn != world.cloud.asn
+        assert set(other.datacenters) == {"london", "seattle"}
+
+    def test_providers_have_distinct_ases(self):
+        world = build_world(
+            seed=13, scale="small", extra_providers={"other": ("london",)}
+        )
+        from repro.net.asn import ASKind
+
+        clouds = world.internet.topology.ases_of_kind(ASKind.CLOUD)
+        assert len(clouds) == 2
+
+
+class TestMultiCloud:
+    def test_pairs_compared(self, multicloud):
+        assert len(multicloud.pairs) >= 4
+        for pair in multicloud.pairs:
+            assert pair.direct_mbps > 0
+            assert pair.single_best_mbps > 0
+            assert pair.multi_best_mbps > 0
+
+    def test_diversity_not_reduced(self, multicloud):
+        """A second AS's paths can only widen the diversity envelope."""
+        single_div, multi_div = multicloud.mean_diversity()
+        assert multi_div >= single_div - 0.1
+
+    def test_throughput_comparable(self, multicloud):
+        """Same node budget: neither deployment collapses."""
+        assert 0.5 <= multicloud.median_gain() <= 2.0
+
+    def test_render(self, multicloud):
+        text = multicloud.render()
+        assert "multi-cloud" in text
+        assert "diversity" in text

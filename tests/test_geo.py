@@ -1,0 +1,95 @@
+"""Geography: distances, propagation delay, city database."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.geo import (
+    CITIES,
+    GeoPoint,
+    cities_in_region,
+    city,
+    haversine_km,
+    propagation_delay_ms,
+    rtt_floor_ms,
+)
+
+points = st.builds(
+    GeoPoint,
+    st.floats(min_value=-90, max_value=90),
+    st.floats(min_value=-180, max_value=180),
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(10.0, 20.0)
+        assert haversine_km(p, p) == 0.0
+
+    def test_known_distance_ny_london(self):
+        d = haversine_km(city("new_york").point, city("london").point)
+        assert 5_400 < d < 5_700  # ~5,570 km
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_km(GeoPoint(0, 0), GeoPoint(0, 180))
+        assert d == pytest.approx(3.14159265 * 6_371, rel=1e-3)
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+class TestPropagationDelay:
+    def test_transatlantic_rtt_reasonable(self):
+        # NY <-> London fiber RTT is ~70 ms in practice.
+        rtt = rtt_floor_ms(city("new_york").point, city("london").point)
+        assert 50 < rtt < 120
+
+    def test_inflation_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            propagation_delay_ms(GeoPoint(0, 0), GeoPoint(1, 1), inflation=0.9)
+
+    @given(points, points)
+    def test_delay_non_negative(self, a, b):
+        assert propagation_delay_ms(a, b) >= 0.0
+
+
+class TestCityDb:
+    def test_paper_datacenter_cities_present(self):
+        # The five Softlayer DCs from Sec. II-A must exist.
+        for name in ("washington_dc", "san_jose", "dallas", "amsterdam", "tokyo"):
+            assert name in CITIES
+
+    def test_mirror_countries_covered(self):
+        # Eclipse mirrors: Canada, USA, Germany, Switzerland, Japan, Korea, China.
+        countries = {c.country for c in CITIES.values()}
+        assert {"CA", "US", "DE", "CH", "JP", "KR", "CN"} <= countries
+
+    def test_five_continents(self):
+        regions = {c.region for c in CITIES.values()}
+        assert regions == {"na", "sa", "eu", "as", "oc"}
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(ConfigError):
+            city("atlantis")
+
+    def test_cities_in_region_sorted_and_filtered(self):
+        eu = cities_in_region("eu")
+        assert all(c.region == "eu" for c in eu)
+        assert [c.name for c in eu] == sorted(c.name for c in eu)
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ConfigError):
+            cities_in_region("mars")
+
+    def test_geopoint_validation(self):
+        with pytest.raises(ConfigError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ConfigError):
+            GeoPoint(0.0, 181.0)

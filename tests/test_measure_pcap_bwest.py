@@ -1,0 +1,145 @@
+"""Packet captures, trace-driven tstat, and bandwidth estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.bwest import (
+    CapacityEstimate,
+    estimate_is_reliable,
+    packet_pair_estimate,
+    true_available_capacity_mbps,
+)
+from repro.measure.pcap import PacketTrace, capture, tstat_from_trace
+from repro.transport.packetsim import PacketLevelTcp, SimLink
+
+
+class TestCapture:
+    def test_capture_produces_ordered_records(self):
+        tcp = PacketLevelTcp(
+            [SimLink(50.0, 10.0)], np.random.default_rng(1), rwnd_bytes=262_144
+        )
+        trace = capture(tcp, 5.0)
+        assert trace.count("data") > 0
+        assert trace.count("deliver") > 0
+        assert trace.count("ack") > 0
+        times = [t for t, _e, _s in trace.records]
+        assert times == sorted(times)
+
+    def test_clean_path_has_no_retx_records(self):
+        tcp = PacketLevelTcp(
+            [SimLink(50.0, 10.0)], np.random.default_rng(1), rwnd_bytes=262_144
+        )
+        trace = capture(tcp, 5.0)
+        assert trace.count("retx") == 0
+
+    def test_lossy_path_has_retx_records(self):
+        tcp = PacketLevelTcp(
+            [SimLink(50.0, 10.0, loss_prob=5e-3)],
+            np.random.default_rng(2),
+            rwnd_bytes=1_048_576,
+        )
+        trace = capture(tcp, 10.0)
+        assert trace.count("retx") > 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(MeasurementError):
+            PacketTrace(records=(), mss_bytes=1_460)
+
+    def test_out_of_order_trace_rejected(self):
+        with pytest.raises(MeasurementError):
+            PacketTrace(
+                records=((1.0, "data", 0), (0.5, "data", 1)), mss_bytes=1_460
+            )
+
+
+class TestTstatFromTrace:
+    def test_rtt_close_to_propagation(self):
+        tcp = PacketLevelTcp(
+            [SimLink(1_000.0, 25.0)], np.random.default_rng(3), rwnd_bytes=262_144
+        )
+        report = tstat_from_trace(capture(tcp, 5.0))
+        # 2 x 25 ms propagation, nearly no queuing at this window.
+        assert report.avg_rtt_ms == pytest.approx(50.0, rel=0.2)
+
+    def test_retransmission_rate_from_trace_tracks_loss(self):
+        # BDP-sized buffer so losses are (mostly) the injected random
+        # ones, not sawtooth burst drops at a shallow queue.
+        tcp = PacketLevelTcp(
+            [SimLink(100.0, 10.0, loss_prob=2e-3, queue_packets=256)],
+            np.random.default_rng(4),
+            rwnd_bytes=1_048_576,
+        )
+        report = tstat_from_trace(capture(tcp, 15.0))
+        assert 2e-4 <= report.retransmission_rate <= 5e-2
+
+    def test_agrees_with_native_flowstats(self):
+        """Trace-derived tstat ≈ the simulator's own accounting."""
+        tcp = PacketLevelTcp(
+            [SimLink(100.0, 15.0, loss_prob=1e-3)],
+            np.random.default_rng(5),
+            rwnd_bytes=1_048_576,
+        )
+        tcp.trace = []
+        stats = tcp.run(15.0)
+        report = tstat_from_trace(PacketTrace(records=tuple(tcp.trace), mss_bytes=tcp.mss))
+        assert report.avg_rtt_ms == pytest.approx(stats.avg_rtt_ms, rel=0.35)
+        assert report.bytes_total == stats.bytes_acked
+
+
+class TestPacketPair:
+    def test_accurate_on_honest_bottleneck(self):
+        links = [SimLink(1_000.0, 5.0), SimLink(80.0, 10.0), SimLink(1_000.0, 5.0)]
+        estimate = packet_pair_estimate(links)
+        assert estimate.relative_error(80.0) < 0.05
+        assert estimate_is_reliable(estimate, links)
+
+    def test_misled_by_software_rate_limiter(self):
+        """The paper's Sec. II-B observation, reproduced."""
+        shaped_nic = SimLink(
+            100.0, 0.2, shaper_burst_packets=64, line_rate_mbps=10_000.0
+        )
+        links = [shaped_nic, SimLink(1_000.0, 10.0)]
+        estimate = packet_pair_estimate(links)
+        # The probes ride the 10 Gbps line inside the burst, so the
+        # estimator reports ~1 Gbps+ for a VM that really gets 100 Mbps.
+        assert estimate.estimate_mbps > 5 * true_available_capacity_mbps(links)
+        assert not estimate_is_reliable(estimate, links)
+
+    def test_estimate_fields(self):
+        links = [SimLink(50.0, 1.0)]
+        estimate = packet_pair_estimate(links, pairs=7)
+        assert isinstance(estimate, CapacityEstimate)
+        assert estimate.samples == 7
+        assert estimate.dispersion_s > 0
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            packet_pair_estimate([])
+        with pytest.raises(MeasurementError):
+            packet_pair_estimate([SimLink(10.0, 1.0)], pairs=0)
+        with pytest.raises(MeasurementError):
+            packet_pair_estimate([SimLink(10.0, 1.0)], probe_bytes=0)
+        with pytest.raises(MeasurementError):
+            true_available_capacity_mbps([])
+        with pytest.raises(MeasurementError):
+            CapacityEstimate(10.0, 1, 0.001).relative_error(0.0)
+
+
+class TestShapedLinkMechanics:
+    def test_shaped_link_bursts_then_throttles(self):
+        """Sustained TCP through a shaper settles at the shaped rate."""
+        shaped = SimLink(20.0, 5.0, shaper_burst_packets=32, line_rate_mbps=1_000.0)
+        tcp = PacketLevelTcp([shaped], np.random.default_rng(6), rwnd_bytes=1_048_576)
+        stats = tcp.run(10.0)
+        assert stats.throughput_mbps == pytest.approx(20.0, rel=0.2)
+
+    def test_shaper_validation(self):
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            SimLink(100.0, 1.0, shaper_burst_packets=-1)
+        with pytest.raises(TransportError):
+            SimLink(100.0, 1.0, shaper_burst_packets=8, line_rate_mbps=50.0)

@@ -1,0 +1,79 @@
+"""Customer cones and topology hierarchy validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.asn import ASKind
+from repro.net.cones import (
+    cone_sizes,
+    customer_cone,
+    hierarchy_summary,
+    reaches_everyone_via_customers_and_peers,
+    transit_degree,
+)
+
+
+class TestCustomerCone:
+    def test_stub_cone_is_itself(self, small_topology):
+        stub = small_topology.ases_of_kind(ASKind.STUB)[0]
+        assert customer_cone(small_topology, stub.asn) == {stub.asn}
+
+    def test_tier1_cones_are_large(self, small_topology):
+        sizes = cone_sizes(small_topology)
+        tier1 = [a.asn for a in small_topology.ases_of_kind(ASKind.TIER1)]
+        stubs = [a.asn for a in small_topology.ases_of_kind(ASKind.STUB)]
+        assert min(sizes[t] for t in tier1) > max(sizes[s] for s in stubs)
+
+    def test_cone_is_monotone_down_hierarchy(self, small_topology):
+        """A provider's cone contains each customer's cone."""
+        transit = small_topology.ases_of_kind(ASKind.TRANSIT)[0]
+        cone = customer_cone(small_topology, transit.asn)
+        for customer in small_topology.customers_of(transit.asn):
+            assert customer_cone(small_topology, customer) <= cone
+
+    def test_unknown_as_rejected(self, small_topology):
+        with pytest.raises(TopologyError):
+            customer_cone(small_topology, 999_999)
+        with pytest.raises(TopologyError):
+            transit_degree(small_topology, 999_999)
+
+
+class TestHierarchy:
+    def test_summary_ordering(self, small_topology):
+        summary = hierarchy_summary(small_topology)
+        assert summary["tier1"] > summary["transit"] > summary["stub"]
+        assert summary["stub"] == 1.0
+
+    def test_tier1s_reach_everyone_settlement_free(self, small_topology):
+        tier1 = small_topology.ases_of_kind(ASKind.TIER1)[0]
+        assert reaches_everyone_via_customers_and_peers(
+            small_topology, tier1.asn
+        ) == pytest.approx(1.0)
+
+    def test_cloud_peering_reach(self):
+        """The cloud's peering reach far exceeds a lone stub's."""
+        from repro.cloud.provider import CloudProvider
+        from repro.net import TopologyConfig, generate_topology
+        from repro.rand import RandomStreams
+
+        streams = RandomStreams(seed=71)
+        topo = generate_topology(TopologyConfig.small(), streams)
+        provider = CloudProvider.deploy(topo, ("dallas", "tokyo"), streams)
+        cloud_reach = reaches_everyone_via_customers_and_peers(topo, provider.asn)
+        stub = topo.ases_of_kind(ASKind.STUB)[0]
+        stub_reach = reaches_everyone_via_customers_and_peers(topo, stub.asn)
+        assert cloud_reach > stub_reach
+        assert cloud_reach > 0.2  # peers' customer cones add up
+
+    def test_transit_degree_counts_all_relations(self, small_topology):
+        transit = small_topology.ases_of_kind(ASKind.TRANSIT)[0]
+        degree = transit_degree(small_topology, transit.asn)
+        expected = len(
+            set(small_topology.providers_of(transit.asn))
+            | set(small_topology.customers_of(transit.asn))
+            | set(small_topology.peers_of(transit.asn))
+        )
+        assert degree == expected
+        assert degree >= 1

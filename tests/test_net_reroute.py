@@ -1,0 +1,59 @@
+"""BGP convergence around failures (resolve_live_path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+
+
+class TestLivePathResolution:
+    def test_returns_preferred_when_alive(self, small_internet):
+        preferred = small_internet.resolve_path("client", "server")
+        live = small_internet.resolve_live_path("client", "server")
+        assert live is preferred
+
+    def test_reroutes_around_failed_link(self, small_internet):
+        preferred = small_internet.resolve_path("client", "server")
+        # Fail a link in the middle (not the shared access links).
+        victim = preferred.links[len(preferred.links) // 2]
+        victim.fail()
+        try:
+            live = small_internet.resolve_live_path("client", "server")
+            assert live.is_alive()
+            assert all(link is not victim for link in live.links)
+            # Endpoints unchanged.
+            assert live.router_ids[0] == preferred.router_ids[0]
+            assert live.router_ids[-1] == preferred.router_ids[-1]
+        finally:
+            victim.restore()
+
+    def test_rerouted_path_may_cost_more(self, small_internet):
+        """The fallback is policy-compliant but typically less preferred."""
+        preferred = small_internet.resolve_path("client", "server")
+        victim = preferred.links[len(preferred.links) // 2]
+        victim.fail()
+        try:
+            live = small_internet.resolve_live_path("client", "server")
+            # Same or more AS-level hops than the preferred route.
+            assert live.hop_count >= 2
+        finally:
+            victim.restore()
+
+    def test_access_link_failure_is_fatal(self, small_internet):
+        """No alternative exists when the last mile itself is down."""
+        client = small_internet.host("client")
+        client.access_link.fail()
+        try:
+            with pytest.raises(RoutingError):
+                small_internet.resolve_live_path("client", "server")
+        finally:
+            client.access_link.restore()
+
+    def test_restoration_reverts_to_preferred(self, small_internet):
+        preferred = small_internet.resolve_path("client", "server")
+        victim = preferred.links[len(preferred.links) // 2]
+        victim.fail()
+        small_internet.resolve_live_path("client", "server")
+        victim.restore()
+        assert small_internet.resolve_live_path("client", "server") is preferred

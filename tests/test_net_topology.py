@@ -1,0 +1,149 @@
+"""Topology generation and structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, TopologyError
+from repro.net import Relationship, Topology, TopologyConfig, generate_topology
+from repro.net.asn import ASKind, AutonomousSystem
+from repro.rand import RandomStreams
+
+
+class TestAutonomousSystem:
+    def test_rejects_empty_pops(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=1, name="x", kind=ASKind.STUB, pop_cities=())
+
+    def test_rejects_duplicate_pops(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(
+                asn=1, name="x", kind=ASKind.STUB, pop_cities=("tokyo", "tokyo")
+            )
+
+    def test_stub_like(self):
+        assert ASKind.STUB.is_stub_like
+        assert ASKind.ACADEMIC.is_stub_like
+        assert ASKind.CONTENT.is_stub_like
+        assert not ASKind.TIER1.is_stub_like
+        assert not ASKind.CLOUD.is_stub_like
+
+
+class TestTopologyBasics:
+    def _two_as(self):
+        topo = Topology()
+        a = topo.add_as(
+            AutonomousSystem(asn=10, name="a", kind=ASKind.TIER1, pop_cities=("tokyo", "london"))
+        )
+        b = topo.add_as(
+            AutonomousSystem(asn=20, name="b", kind=ASKind.TRANSIT, pop_cities=("london",))
+        )
+        return topo, a, b
+
+    def test_duplicate_asn_rejected(self):
+        topo, a, _ = self._two_as()
+        with pytest.raises(TopologyError):
+            topo.add_as(
+                AutonomousSystem(asn=a.asn, name="dup", kind=ASKind.STUB, pop_cities=("tokyo",))
+            )
+
+    def test_customer_relation_adjacency(self):
+        topo, a, b = self._two_as()
+        topo.add_relation(b.asn, a.asn, Relationship.CUSTOMER)
+        assert topo.providers_of(b.asn) == [a.asn]
+        assert topo.customers_of(a.asn) == [b.asn]
+        assert topo.peers_of(a.asn) == []
+
+    def test_peer_relation_adjacency(self):
+        topo, a, b = self._two_as()
+        topo.add_relation(a.asn, b.asn, Relationship.PEER)
+        assert topo.peers_of(a.asn) == [b.asn]
+        assert topo.peers_of(b.asn) == [a.asn]
+
+    def test_duplicate_relation_rejected(self):
+        topo, a, b = self._two_as()
+        topo.add_relation(a.asn, b.asn, Relationship.PEER)
+        with pytest.raises(TopologyError):
+            topo.add_relation(b.asn, a.asn, Relationship.CUSTOMER)
+
+    def test_interconnect_prefers_shared_city(self):
+        topo, a, b = self._two_as()
+        rel = topo.add_relation(a.asn, b.asn, Relationship.PEER)
+        assert ("london", "london") in rel.interconnect_cities
+
+    def test_relation_between_lookup(self):
+        topo, a, b = self._two_as()
+        rel = topo.add_relation(a.asn, b.asn, Relationship.PEER)
+        assert topo.relation_between(b.asn, a.asn) is rel
+        with pytest.raises(TopologyError):
+            topo.relation_between(a.asn, 999)
+
+    def test_validate_catches_partition(self):
+        topo, a, _b = self._two_as()
+        orphan = topo.add_as(
+            AutonomousSystem(asn=30, name="orphan", kind=ASKind.STUB, pop_cities=("paris",))
+        )
+        assert orphan.asn == 30
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+
+class TestGeneratedTopology:
+    def test_counts_match_config(self, small_topology):
+        cfg = TopologyConfig.small()
+        assert len(small_topology.ases_of_kind(ASKind.TIER1)) == cfg.n_tier1
+        assert len(small_topology.ases_of_kind(ASKind.TRANSIT)) == cfg.n_transit
+        assert len(small_topology.ases_of_kind(ASKind.STUB)) == cfg.n_stub
+        assert len(small_topology.ases_of_kind(ASKind.ACADEMIC)) == cfg.n_academic
+        assert len(small_topology.ases_of_kind(ASKind.CONTENT)) == cfg.n_content
+
+    def test_tier1_clique(self, small_topology):
+        t1s = small_topology.ases_of_kind(ASKind.TIER1)
+        for a in t1s:
+            for b in t1s:
+                if a.asn != b.asn:
+                    assert b.asn in small_topology.peers_of(a.asn)
+
+    def test_every_stub_has_provider(self, small_topology):
+        for kind in (ASKind.STUB, ASKind.ACADEMIC, ASKind.CONTENT):
+            for stub in small_topology.ases_of_kind(kind):
+                assert small_topology.providers_of(stub.asn)
+
+    def test_stubs_have_single_pop(self, small_topology):
+        for stub in small_topology.ases_of_kind(ASKind.STUB):
+            assert len(stub.pop_cities) == 1
+
+    def test_generation_deterministic(self):
+        cfg = TopologyConfig.small()
+        t1 = generate_topology(cfg, RandomStreams(seed=99))
+        t2 = generate_topology(cfg, RandomStreams(seed=99))
+        assert sorted(t1.ases) == sorted(t2.ases)
+        assert [(r.a, r.b, r.rel) for r in t1.relations] == [
+            (r.a, r.b, r.rel) for r in t2.relations
+        ]
+
+    def test_generation_varies_with_seed(self):
+        cfg = TopologyConfig.small()
+        t1 = generate_topology(cfg, RandomStreams(seed=99))
+        t2 = generate_topology(cfg, RandomStreams(seed=100))
+        rels1 = [(r.a, r.b, r.rel.value) for r in t1.relations]
+        rels2 = [(r.a, r.b, r.rel.value) for r in t2.relations]
+        assert rels1 != rels2
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(n_tier1=1)
+        with pytest.raises(ConfigError):
+            TopologyConfig(stub_region_weights={"na": 0.5})
+
+    def test_add_cloud_as_skips_duplicate_peer(self):
+        topo = generate_topology(TopologyConfig.small(), RandomStreams(seed=5))
+        t1s = [a.asn for a in topo.ases_of_kind(ASKind.TIER1)]
+        cloud = topo.add_cloud_as(
+            "cloud-x",
+            ("dallas", "tokyo"),
+            transit_tier1s=[t1s[0]],
+            peer_asns=[t1s[0], t1s[1]],  # t1s[0] is already a provider
+        )
+        assert topo.providers_of(cloud.asn) == [t1s[0]]
+        assert topo.peers_of(cloud.asn) == [t1s[1]]

@@ -1,0 +1,161 @@
+"""Internet facade: construction, hosts, path resolution, clock, failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, RoutingError
+from repro.net import Internet, LinkClass
+from repro.net.world import HOST_ID_BASE
+
+
+class TestConstruction:
+    def test_every_pop_has_router(self, small_internet):
+        for asys in small_internet.topology.ases.values():
+            for city_name in asys.pop_cities:
+                router = small_internet.routers.at(asys.asn, city_name)
+                assert router.asn == asys.asn
+
+    def test_cloud_backbone_links_exist(self, small_internet):
+        backbone = small_internet.links_of_class(LinkClass.CLOUD_BACKBONE)
+        # 5 DCs, sparse backbone: at least a ring, at most a full mesh.
+        assert 5 <= len(backbone) <= 10
+
+    def test_t1_peering_links_exist(self, small_internet):
+        assert small_internet.links_of_class(LinkClass.T1_PEERING)
+
+    def test_core_runs_hotter_than_cloud(self, small_internet):
+        t = 12 * 3600.0
+        core = small_internet.links_of_class(LinkClass.T1_PEERING)
+        cloud = small_internet.links_of_class(LinkClass.CLOUD_BACKBONE)
+        core_util = sum(l.utilization(t) for l in core) / len(core)
+        cloud_util = sum(l.utilization(t) for l in cloud) / len(cloud)
+        assert core_util > cloud_util + 0.2
+
+    def test_deterministic_build(self, small_internet):
+        """Same seed -> identical link parameters."""
+        from repro.net import TopologyConfig, generate_topology
+        from repro.net.asn import ASKind
+        from repro.rand import RandomStreams
+
+        streams = RandomStreams(seed=1234)
+        topo = generate_topology(TopologyConfig.small(), streams)
+        t1s = [a.asn for a in topo.ases_of_kind(ASKind.TIER1)]
+        transits = [a.asn for a in topo.ases_of_kind(ASKind.TRANSIT)]
+        topo.add_cloud_as(
+            "softcloud",
+            ("dallas", "amsterdam", "tokyo", "san_jose", "washington_dc"),
+            t1s[:2],
+            transits,
+        )
+        twin = Internet(topo, streams)
+        for link_id, link in small_internet.links_by_id.items():
+            if link.link_class is LinkClass.HOST_ACCESS:
+                continue  # twin has no hosts attached
+            other = twin.links_by_id[link_id]
+            assert other.capacity_mbps == link.capacity_mbps
+            assert other.base_loss == link.base_loss
+            assert other.load.base_util == link.load.base_util
+
+
+class TestHosts:
+    def test_attach_creates_access_link(self, small_internet):
+        host = small_internet.host("client")
+        assert host.access_link.link_class is LinkClass.HOST_ACCESS
+        assert host.access_link.capacity_mbps == host.nic_mbps
+        assert host.host_id >= HOST_ID_BASE
+
+    def test_duplicate_name_rejected(self, small_internet):
+        with pytest.raises(ConfigError):
+            small_internet.attach_host("client", small_internet.host("client").asn)
+
+    def test_unknown_host_rejected(self, small_internet):
+        with pytest.raises(ConfigError):
+            small_internet.host("ghost")
+
+    def test_explicit_access_parameters(self, small_internet):
+        host = small_internet.attach_host(
+            "pinned",
+            small_internet.host("server").asn,
+            nic_mbps=1_000.0,
+            access_delay_ms=1.5,
+            access_base_loss=2e-4,
+        )
+        assert host.access_link.prop_delay_ms == 1.5
+        assert host.access_link.base_loss == 2e-4
+        assert host.access_link.capacity_mbps == 1_000.0
+
+
+class TestPathResolution:
+    def test_path_endpoints(self, small_internet):
+        path = small_internet.resolve_path("client", "server")
+        client = small_internet.host("client")
+        server = small_internet.host("server")
+        assert path.router_ids[0] == client.host_id
+        assert path.router_ids[-1] == server.host_id
+        assert path.links[0] is client.access_link
+        assert path.links[-1] is server.access_link
+
+    def test_path_is_link_consistent(self, small_internet):
+        """Consecutive links must share the router between them."""
+        path = small_internet.resolve_path("client", "server")
+        for i, (left, right) in enumerate(zip(path.links, path.links[1:])):
+            shared_router = path.router_ids[i + 1]
+            assert shared_router in (left.router_a, left.router_b)
+            assert shared_router in (right.router_a, right.router_b)
+
+    def test_path_cached(self, small_internet):
+        p1 = small_internet.resolve_path("client", "server")
+        p2 = small_internet.resolve_path("client", "server")
+        assert p1 is p2
+
+    def test_self_path_rejected(self, small_internet):
+        with pytest.raises(RoutingError):
+            small_internet.resolve_path("client", "client")
+
+    def test_overlay_detour_differs_from_direct(self, small_internet):
+        direct = small_internet.resolve_path("client", "server")
+        leg1 = small_internet.resolve_path("client", "vm")
+        leg2 = small_internet.resolve_path("vm", "server")
+        overlay = leg1.concatenate(leg2)
+        assert set(overlay.router_ids) != set(direct.router_ids)
+        # Overlay traverses the cloud VM.
+        assert small_internet.host("vm").host_id in overlay.router_ids
+
+    def test_metrics_respond_to_time(self, small_internet):
+        """Diurnal load must move path metrics across the day."""
+        path = small_internet.resolve_path("client", "server")
+        rtts = {round(path.metrics(h * 3600.0).rtt_ms, 3) for h in range(0, 24, 3)}
+        assert len(rtts) > 1
+
+
+class TestClockAndFailures:
+    def test_clock_advances(self, small_internet):
+        assert small_internet.now == 0.0
+        small_internet.advance(10.0)
+        assert small_internet.now == 10.0
+        with pytest.raises(ConfigError):
+            small_internet.advance(-1.0)
+
+    def test_set_time(self, small_internet):
+        small_internet.set_time(3_600.0)
+        assert small_internet.now == 3_600.0
+        with pytest.raises(ConfigError):
+            small_internet.set_time(-5.0)
+
+    def test_scheduled_failure_kills_and_restores_path(self, small_internet):
+        path = small_internet.resolve_path("client", "server")
+        victim = path.links[len(path.links) // 2]
+        small_internet.failures.schedule(victim.link_id, start_s=100.0, duration_s=50.0)
+
+        small_internet.set_time(99.0)
+        assert path.is_alive()
+        small_internet.set_time(120.0)
+        assert not path.is_alive()
+        assert path.metrics(small_internet.now).loss == 1.0
+        small_internet.set_time(200.0)
+        assert path.is_alive()
+
+    def test_failure_on_unknown_link_rejected(self, small_internet):
+        with pytest.raises(ConfigError):
+            small_internet.failures.schedule(999_999, start_s=0.0, duration_s=1.0)

@@ -1,0 +1,81 @@
+"""Selection-regret experiment and the looking glass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError, TopologyError
+from repro.experiments.selection_exp import run_selection
+from repro.net.looking_glass import show_bgp, show_neighbors, show_path
+
+
+@pytest.fixture(scope="module")
+def selection():
+    return run_selection(seed=19, n_pairs=4, probe_intervals_h=(4.0, 24.0))
+
+
+class TestSelectionRegret:
+    def test_oracle_is_the_ceiling(self, selection):
+        oracle = selection.by_name("oracle")
+        assert oracle.achieved_fraction == 1.0
+        for outcome in selection.outcomes:
+            assert outcome.achieved_fraction <= 1.0 + 1e-9
+
+    def test_probing_costs_bytes_mptcp_does_not(self, selection):
+        assert selection.by_name("probing(4h)").probe_overhead_mb > 0
+        assert selection.by_name("mptcp").probe_overhead_mb == 0.0
+
+    def test_frequent_probing_costs_more(self, selection):
+        frequent = selection.by_name("probing(4h)")
+        rare = selection.by_name("probing(24h)")
+        assert frequent.probe_overhead_mb > rare.probe_overhead_mb
+
+    def test_mptcp_reflects_tracking_efficiency(self, selection):
+        from repro.experiments.selection_exp import MPTCP_TRACKING_EFFICIENCY
+
+        assert selection.by_name("mptcp").achieved_fraction == pytest.approx(
+            MPTCP_TRACKING_EFFICIENCY, abs=0.01
+        )
+
+    def test_render(self, selection):
+        text = selection.render()
+        assert "oracle" in text
+        assert "mptcp" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_selection(n_pairs=0)
+
+    def test_unknown_strategy_lookup(self, selection):
+        with pytest.raises(ExperimentError):
+            selection.by_name("carrier-pigeon")
+
+
+class TestLookingGlass:
+    def test_show_bgp_lists_and_stars_candidates(self, small_internet):
+        client = small_internet.host("client")
+        server = small_internet.host("server")
+        text = show_bgp(small_internet, client.asn, server.asn)
+        assert "as-path" in text
+        assert "*" in text
+        assert f"AS{server.asn}" in text
+
+    def test_show_bgp_no_route(self, small_internet):
+        client = small_internet.host("client")
+        assert "no route" in show_bgp(small_internet, client.asn, client.asn).lower() or (
+            "best" in show_bgp(small_internet, client.asn, client.asn)
+        )
+
+    def test_show_neighbors(self, small_internet):
+        client = small_internet.host("client")
+        text = show_neighbors(small_internet, client.asn)
+        assert "provider" in text
+        with pytest.raises(TopologyError):
+            show_neighbors(small_internet, 999_999)
+
+    def test_show_path(self, small_internet):
+        text = show_path(small_internet, "client", "server", at_time=3_600.0)
+        assert "client" in text
+        assert "server" in text
+        assert "rtt=" in text
+        assert "host_access" in text

@@ -1,0 +1,166 @@
+"""Congestion-control algorithms: Reno, Cubic, LIA, OLIA."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TransportError
+from repro.transport.cc import CubicCC, LiaCoupler, OliaCoupler, RenoCC
+from repro.transport.cc.base import MIN_CWND_SEGMENTS
+
+
+class TestReno:
+    def test_slow_start_doubles(self):
+        cc = RenoCC(initial_cwnd=10.0)
+        cc.on_round(lost=False, rtt_s=0.1)
+        assert cc.cwnd == 20.0
+
+    def test_loss_exits_slow_start_and_halves(self):
+        cc = RenoCC(initial_cwnd=16.0)
+        cc.on_round(lost=True, rtt_s=0.1)
+        assert cc.cwnd == 8.0
+        assert not cc.in_slow_start
+        cc.on_round(lost=False, rtt_s=0.1)
+        assert cc.cwnd == 9.0  # additive now
+
+    def test_floor(self):
+        cc = RenoCC(initial_cwnd=2.0)
+        for _ in range(5):
+            cc.on_round(lost=True, rtt_s=0.1)
+        assert cc.cwnd == MIN_CWND_SEGMENTS
+
+    def test_clamp(self):
+        cc = RenoCC(initial_cwnd=100.0)
+        cc.clamp(50.0)
+        assert cc.cwnd == 50.0
+
+    def test_invalid_params(self):
+        with pytest.raises(TransportError):
+            RenoCC(additive_increase=0.0)
+        with pytest.raises(TransportError):
+            RenoCC(multiplicative_decrease=1.0)
+        with pytest.raises(TransportError):
+            RenoCC(initial_cwnd=1.0)
+        with pytest.raises(TransportError):
+            RenoCC().on_round(lost=False, rtt_s=0.0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_window_always_valid(self, outcomes):
+        cc = RenoCC()
+        for lost in outcomes:
+            cc.on_round(lost=lost, rtt_s=0.05)
+            cc.clamp(10_000.0)
+            assert MIN_CWND_SEGMENTS <= cc.cwnd <= 10_000.0
+
+
+class TestCubic:
+    def test_decrease_factor(self):
+        cc = CubicCC(initial_cwnd=100.0)
+        cc.on_round(lost=True, rtt_s=0.1)
+        assert cc.cwnd == pytest.approx(70.0)
+
+    def test_recovers_toward_wmax(self):
+        cc = CubicCC(initial_cwnd=100.0)
+        cc.on_round(lost=True, rtt_s=0.1)  # w_max=100, cwnd=70
+        for _ in range(200):
+            cc.on_round(lost=False, rtt_s=0.1)
+        assert cc.cwnd > 100.0  # eventually probes past w_max
+
+    def test_concave_near_wmax(self):
+        """Growth slows as the window approaches w_max."""
+        cc = CubicCC(initial_cwnd=1_000.0)
+        cc.on_round(lost=True, rtt_s=0.1)
+        deltas = []
+        prev = cc.cwnd
+        for _ in range(30):
+            cc.on_round(lost=False, rtt_s=0.1)
+            deltas.append(cc.cwnd - prev)
+            prev = cc.cwnd
+        assert deltas[0] > deltas[len(deltas) // 2]
+
+    def test_never_shrinks_without_loss(self):
+        cc = CubicCC(initial_cwnd=50.0)
+        cc.on_round(lost=True, rtt_s=0.1)
+        prev = cc.cwnd
+        for _ in range(100):
+            cc.on_round(lost=False, rtt_s=0.1)
+            assert cc.cwnd >= prev
+            prev = cc.cwnd
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_window_always_valid(self, outcomes):
+        cc = CubicCC()
+        for lost in outcomes:
+            cc.on_round(lost=lost, rtt_s=0.05)
+            assert cc.cwnd >= MIN_CWND_SEGMENTS
+
+
+def drive_coupler(coupler_cls, rtts, loss_on, rounds=300):
+    """Drive a coupler's subflows with deterministic loss patterns.
+
+    ``loss_on[i]`` is the loss period of subflow i (a loss every k-th
+    round; 0 means lossless).
+    """
+    coupler = coupler_cls()
+    subflows = [coupler.new_subflow() for _ in rtts]
+    for r in range(1, rounds + 1):
+        for i, sf in enumerate(subflows):
+            lost = loss_on[i] > 0 and r % loss_on[i] == 0
+            sf.on_round(lost=lost, rtt_s=rtts[i])
+            sf.clamp(5_000.0)
+    return coupler, subflows
+
+
+@pytest.mark.parametrize("coupler_cls", [LiaCoupler, OliaCoupler])
+class TestCoupledCommon:
+    def test_shifts_window_to_better_path(self, coupler_cls):
+        """The coupled design goal: traffic moves off congested paths."""
+        _, subflows = drive_coupler(coupler_cls, rtts=[0.1, 0.1], loss_on=[5, 50])
+        assert subflows[1].cwnd > subflows[0].cwnd
+
+    def test_loss_halves_window(self, coupler_cls):
+        coupler = coupler_cls()
+        sf = coupler.new_subflow(initial_cwnd=64.0)
+        sf.on_round(lost=True, rtt_s=0.1)
+        assert sf.cwnd == 32.0
+
+    def test_windows_stay_positive(self, coupler_cls):
+        _, subflows = drive_coupler(coupler_cls, rtts=[0.05, 0.2, 0.4], loss_on=[3, 7, 11])
+        for sf in subflows:
+            assert sf.cwnd >= MIN_CWND_SEGMENTS
+
+    def test_rejects_bad_rtt(self, coupler_cls):
+        coupler = coupler_cls()
+        sf = coupler.new_subflow()
+        with pytest.raises(TransportError):
+            sf.on_round(lost=False, rtt_s=-1.0)
+
+
+class TestLiaSpecific:
+    def test_increase_capped_by_reno(self):
+        """Per RFC 6356, per-ACK increase never exceeds 1/cwnd."""
+        coupler = LiaCoupler()
+        sf = coupler.new_subflow(initial_cwnd=10.0)
+        coupler.new_subflow(initial_cwnd=10.0)
+        assert coupler.increase_for(sf) <= 1.0 + 1e-9  # cwnd * (1/cwnd)
+
+
+class TestOliaSpecific:
+    def test_alpha_favours_best_small_window_path(self):
+        coupler = OliaCoupler()
+        good = coupler.new_subflow(initial_cwnd=4.0)
+        bad = coupler.new_subflow(initial_cwnd=100.0)
+        good.loss_rate_estimate = 1e-6
+        bad.loss_rate_estimate = 1e-2
+        assert coupler._alpha_for(0) > 0  # best-but-small gets a boost
+        assert coupler._alpha_for(1) < 0  # max-window path gives it up
+
+    def test_alpha_zero_when_best_is_max(self):
+        coupler = OliaCoupler()
+        best = coupler.new_subflow(initial_cwnd=100.0)
+        other = coupler.new_subflow(initial_cwnd=10.0)
+        best.loss_rate_estimate = 1e-6
+        other.loss_rate_estimate = 1e-2
+        assert coupler._alpha_for(0) == 0.0
+        assert coupler._alpha_for(1) == 0.0

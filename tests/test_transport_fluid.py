@@ -1,0 +1,173 @@
+"""Fluid simulator and MPTCP connection behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.transport import MptcpConnection, MptcpScheme, TcpConnection
+from repro.transport.cc import RenoCC
+from repro.transport.fluid import FluidSimulator
+
+
+@pytest.fixture()
+def paths(small_internet):
+    direct = small_internet.resolve_path("client", "server")
+    leg1 = small_internet.resolve_path("client", "vm")
+    leg2 = small_internet.resolve_path("vm", "server")
+    return direct, leg1.concatenate(leg2)
+
+
+T0 = 3_600.0
+
+
+def run_single(path, seed=1, duration=45.0, rwnd=4_194_304):
+    sim = FluidSimulator(at_time=T0, rng=np.random.default_rng(seed))
+    flow = sim.add_flow(path, RenoCC(), rwnd_bytes=rwnd)
+    return sim.run(duration)[flow.flow_id]
+
+
+class TestFluidSingleFlow:
+    def test_positive_goodput(self, paths):
+        direct, _ = paths
+        stats = run_single(direct)
+        assert stats.throughput_mbps > 0
+
+    def test_agrees_with_model_within_factor(self, paths):
+        """Fluid Reno and the Mathis-based model must roughly agree.
+
+        Mathis is a steady-state average; a finite run with few loss
+        events legitimately rides above it (the cleaner the path, the
+        wider the gap), so we only pin the order of magnitude.
+        """
+        from repro.transport import TcpParams
+
+        direct, overlay = paths
+        for path in (direct, overlay):
+            model = TcpConnection(path, TcpParams(rwnd_bytes=4_194_304)).throughput_at(T0)
+            fluid = run_single(path, duration=60.0).throughput_mbps
+            assert 0.15 * model <= fluid <= 8.0 * model, (
+                f"fluid {fluid} vs model {model} on {path.src_name}->{path.dst_name}"
+            )
+
+    def test_rwnd_caps_throughput(self, paths):
+        direct, _ = paths
+        small = run_single(direct, rwnd=32 * 1_460)
+        big = run_single(direct, rwnd=4_194_304)
+        assert small.throughput_mbps <= big.throughput_mbps + 0.5
+        # rwnd cap: 32 segments per RTT
+        rtt_s = direct.metrics(T0).rtt_ms / 1_000.0
+        cap = 32 * 1_460 * 8 / rtt_s / 1e6
+        assert small.throughput_mbps <= cap * 1.05
+
+    def test_deterministic_given_seed(self, paths):
+        direct, _ = paths
+        a = run_single(direct, seed=9)
+        b = run_single(direct, seed=9)
+        assert a.throughput_mbps == b.throughput_mbps
+
+    def test_throughput_capped_by_nic(self, paths):
+        """All flows traverse the 100 Mbps host access links."""
+        _, overlay = paths
+        stats = run_single(overlay, duration=30.0)
+        assert stats.throughput_mbps <= 100.0
+
+    def test_validation(self, paths):
+        direct, _ = paths
+        sim = FluidSimulator(at_time=T0, rng=np.random.default_rng(0))
+        with pytest.raises(TransportError):
+            sim.run(10.0)  # no flows
+        sim.add_flow(direct, RenoCC())
+        with pytest.raises(TransportError):
+            sim.run(0.0)
+        with pytest.raises(TransportError):
+            FluidSimulator(at_time=T0, rng=np.random.default_rng(0), tick_s=0.0)
+
+    def test_retransmissions_recorded_on_lossy_path(self, paths):
+        """A path with nonzero loss must report retransmitted bytes."""
+        direct, _ = paths
+        assert direct.metrics(T0).loss > 0
+        stats = run_single(direct)
+        assert stats.bytes_retransmitted > 0
+        assert 0.0 < stats.retransmission_rate < 1.0
+
+
+class TestCapacitySharing:
+    def test_two_flows_share_bottleneck(self, paths):
+        """Conservation: flows sharing the NIC cannot sum past it."""
+        direct, _ = paths
+        sim = FluidSimulator(at_time=T0, rng=np.random.default_rng(4))
+        f1 = sim.add_flow(direct, RenoCC(), rwnd_bytes=16 * 1_048_576)
+        f2 = sim.add_flow(direct, RenoCC(), rwnd_bytes=16 * 1_048_576)
+        stats = sim.run(30.0)
+        total = stats[f1.flow_id].throughput_mbps + stats[f2.flow_id].throughput_mbps
+        assert total <= 100.0 + 1.0  # NIC capacity plus rounding
+
+
+class TestMptcp:
+    def test_olia_tracks_best_path(self, paths):
+        """Fig. 12: coupled MPTCP at least matches the best single path.
+
+        The design guarantee is a *lower* bound (Sec. VI-A); on paths
+        with distinct bottlenecks coupled MPTCP may land somewhat above
+        the best path — but always below the uncoupled aggregate, which
+        the next test pins.
+        """
+        direct, overlay = paths
+        singles = [run_single(p, seed=11).throughput_mbps for p in (direct, overlay)]
+        best = max(singles)
+        conn = MptcpConnection([direct, overlay], scheme=MptcpScheme.OLIA)
+        got = conn.run(T0, 45.0, np.random.default_rng(12)).throughput_mbps
+        assert got >= 0.6 * best
+        assert got <= sum(singles) * 1.5  # far from unconstrained aggregation
+
+    def test_cubic_aggregates(self, paths):
+        """Fig. 13: uncoupled subflows sum their paths."""
+        direct, overlay = paths
+        coupled = MptcpConnection([direct, overlay], scheme=MptcpScheme.OLIA).run(
+            T0, 45.0, np.random.default_rng(13)
+        )
+        uncoupled = MptcpConnection(
+            [direct, overlay], scheme=MptcpScheme.UNCOUPLED_CUBIC
+        ).run(T0, 45.0, np.random.default_rng(13))
+        assert uncoupled.throughput_mbps > coupled.throughput_mbps
+
+    def test_subflow_labels(self, paths):
+        direct, overlay = paths
+        res = MptcpConnection([direct, overlay]).run(T0, 5.0, np.random.default_rng(1))
+        assert len(res.subflows) == 2
+        assert res.subflow_labels[0] == "client->server"
+        assert res.best_subflow_mbps() <= res.throughput_mbps + 1e-9
+
+    def test_needs_paths(self):
+        with pytest.raises(TransportError):
+            MptcpConnection([])
+
+    def test_failover_survives_direct_path_failure(self, paths, small_internet):
+        """Sec. VI-A: if the default path fails, MPTCP keeps going."""
+        direct, overlay = paths
+        victim = None
+        for link in direct.links:
+            if all(link is not other for other in overlay.links):
+                victim = link
+                break
+        assert victim is not None, "need a direct-only link to fail"
+
+        def fail_at_10s(sim, elapsed):
+            if elapsed >= 10.0 and not victim.failed:
+                victim.fail()
+
+        conn = MptcpConnection([direct, overlay], scheme=MptcpScheme.OLIA)
+        baseline = conn.run(T0, 40.0, np.random.default_rng(7))
+        try:
+            failed = conn.run(T0, 40.0, np.random.default_rng(7), on_tick=fail_at_10s)
+        finally:
+            victim.restore()
+        # The connection survived: the overlay subflow kept delivering.
+        assert failed.subflows[1].throughput_mbps > 0.1
+        # The direct subflow died mid-run: it moved fewer bytes than in
+        # the identical run without the failure.
+        assert failed.subflows[0].bytes_acked < baseline.subflows[0].bytes_acked
+        # And the aggregate still delivered a useful fraction.
+        assert failed.throughput_mbps > 0.25 * baseline.throughput_mbps

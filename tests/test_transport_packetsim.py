@@ -1,0 +1,146 @@
+"""Packet-level TCP simulator: validation of the faster engines.
+
+The discrete-event engine is the ground truth of this repository: real
+segments, real queues, real NewReno recovery.  These tests pin its
+agreement with theory (and therefore with the model engine built on
+that theory):
+
+* a clean bottleneck is saturated,
+* a window-limited flow does rwnd/RTT,
+* a lossy path lands in the Mathis ballpark — sometimes below it,
+  because NewReno *without SACK* genuinely degrades on multi-loss
+  windows (Fall & Floyd 1996), which Mathis's idealized recovery
+  ignores,
+* split-TCP beats end-to-end TCP on long lossy paths — the paper's
+  core mechanism, revalidated packet by packet.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.mathis import mathis_throughput_mbps
+from repro.transport.packetsim import PacketLevelTcp, SimLink
+
+
+def run(links, seed=1, duration=20.0, rwnd=8_388_608):
+    tcp = PacketLevelTcp(links, np.random.default_rng(seed), rwnd_bytes=rwnd)
+    return tcp.run(duration)
+
+
+class TestSimLink:
+    def test_service_time(self):
+        link = SimLink(capacity_mbps=100.0, prop_delay_ms=1.0)
+        assert link.service_time_s(1_250) == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            SimLink(capacity_mbps=0.0, prop_delay_ms=1.0)
+        with pytest.raises(TransportError):
+            SimLink(capacity_mbps=10.0, prop_delay_ms=-1.0)
+        with pytest.raises(TransportError):
+            SimLink(capacity_mbps=10.0, prop_delay_ms=1.0, loss_prob=1.0)
+        with pytest.raises(TransportError):
+            SimLink(capacity_mbps=10.0, prop_delay_ms=1.0, queue_packets=0)
+
+
+class TestAgainstTheory:
+    def test_saturates_clean_bottleneck(self):
+        links = [SimLink(100.0, 5.0), SimLink(10.0, 10.0), SimLink(100.0, 5.0)]
+        stats = run(links, rwnd=4_194_304)
+        assert stats.throughput_mbps == pytest.approx(10.0, rel=0.1)
+
+    def test_rwnd_limit(self):
+        # 256 KB window over 200 ms RTT -> ~10.5 Mbps.
+        stats = run([SimLink(1_000.0, 100.0)], duration=30.0, rwnd=262_144)
+        assert stats.throughput_mbps == pytest.approx(262_144 * 8 / 0.2 / 1e6, rel=0.1)
+
+    def test_mathis_ballpark_on_lossy_path(self):
+        links = [SimLink(1_000.0, 20.0, loss_prob=1e-3), SimLink(1_000.0, 20.0)]
+        mathis = mathis_throughput_mbps(1_460, 80.0, 1e-3)
+        values = [run(links, seed=s, duration=30.0).throughput_mbps for s in (2, 5, 13)]
+        mean = statistics.mean(values)
+        # Within Mathis's ballpark; the downside slack is NewReno's
+        # real multi-loss recovery penalty (no SACK).
+        assert 0.3 * mathis <= mean <= 1.3 * mathis
+
+    def test_throughput_decreases_with_loss(self):
+        clean = run([SimLink(1_000.0, 40.0)], duration=20.0).throughput_mbps
+        lossy = run(
+            [SimLink(1_000.0, 40.0, loss_prob=2e-3)], duration=20.0
+        ).throughput_mbps
+        assert lossy < clean
+
+    def test_throughput_decreases_with_rtt(self):
+        short = run([SimLink(1_000.0, 10.0, loss_prob=1e-3)], duration=20.0, seed=5)
+        long = run([SimLink(1_000.0, 80.0, loss_prob=1e-3)], duration=20.0, seed=5)
+        assert long.throughput_mbps < short.throughput_mbps
+
+    def test_retransmission_rate_tracks_loss(self):
+        stats = run(
+            [SimLink(1_000.0, 20.0, loss_prob=1e-3), SimLink(1_000.0, 20.0)],
+            seed=13,
+            duration=30.0,
+        )
+        # Within an order of magnitude of the injected rate.
+        assert 1e-4 <= stats.retransmission_rate <= 1e-1
+
+    def test_rtt_report_includes_queueing(self):
+        # Deep queue at a slow bottleneck: measured RTT >> propagation.
+        links = [SimLink(10.0, 10.0, queue_packets=256)]
+        stats = run(links, rwnd=4_194_304)
+        assert stats.avg_rtt_ms > 2 * 10.0
+
+
+class TestSplitAdvantage:
+    def test_split_beats_end_to_end_on_long_lossy_path(self):
+        """The paper's Eq. 1 mechanism, revalidated packet by packet."""
+        half = lambda: SimLink(1_000.0, 40.0, loss_prob=5e-4)  # noqa: E731
+        seeds = (3, 7, 11)
+        e2e = statistics.mean(
+            run([half(), half()], seed=s, duration=30.0).throughput_mbps for s in seeds
+        )
+        split = statistics.mean(
+            min(
+                run([half()], seed=s, duration=30.0).throughput_mbps,
+                run([half()], seed=s + 100, duration=30.0).throughput_mbps,
+            )
+            for s in seeds
+        )
+        assert split > e2e * 1.3
+
+
+class TestMechanics:
+    def test_deterministic_given_seed(self):
+        links = [SimLink(100.0, 10.0, loss_prob=1e-3)]
+        a = run(links, seed=4)
+        b = run(links, seed=4)
+        assert a.throughput_mbps == b.throughput_mbps
+        assert a.bytes_retransmitted == b.bytes_retransmitted
+
+    def test_no_loss_means_no_retransmissions(self):
+        stats = run([SimLink(100.0, 10.0)], rwnd=262_144)
+        assert stats.bytes_retransmitted == 0
+
+    def test_delivery_is_contiguous(self):
+        links = [SimLink(100.0, 10.0, loss_prob=5e-3)]
+        tcp = PacketLevelTcp(links, np.random.default_rng(6), rwnd_bytes=1_048_576)
+        tcp.run(10.0)
+        # Everything delivered was delivered in order.
+        assert tcp.delivered_segments == tcp.expected_seq
+        assert set(range(tcp.expected_seq)) <= tcp.received
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            PacketLevelTcp([], np.random.default_rng(0))
+        with pytest.raises(TransportError):
+            PacketLevelTcp(
+                [SimLink(10.0, 1.0)], np.random.default_rng(0), mss_bytes=0
+            )
+        tcp = PacketLevelTcp([SimLink(10.0, 1.0)], np.random.default_rng(0))
+        with pytest.raises(TransportError):
+            tcp.run(0.0)

@@ -1,0 +1,83 @@
+"""Cross-engine agreement (model vs fluid vs packet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.validation import (
+    CANONICAL_SCENARIOS,
+    EngineComparison,
+    Scenario,
+    compare_engines,
+    fluid_throughput,
+    model_throughput,
+    packet_throughput,
+    render_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return compare_engines(seeds=(1, 2))
+
+
+class TestScenarios:
+    def test_canonical_matrix_covers_regimes(self):
+        names = {s.name for s in CANONICAL_SCENARIOS}
+        assert {"clean-bottleneck", "window-limited", "lossy-short", "lossy-long"} == names
+
+    def test_scenario_validation(self):
+        with pytest.raises(TransportError):
+            Scenario("bad", 0.0, 10.0, 0.0)
+        with pytest.raises(TransportError):
+            Scenario("bad", 10.0, 10.0, 1.0)
+
+
+class TestEngines:
+    def test_engines_agree_within_small_factor(self, comparisons):
+        """The repository's core credibility claim."""
+        for comparison in comparisons:
+            assert comparison.max_disagreement() <= 3.0, (
+                comparison.scenario.name,
+                comparison.model_mbps,
+                comparison.fluid_mbps,
+                comparison.packet_mbps,
+            )
+
+    def test_window_limited_agreement_is_tight(self, comparisons):
+        """Window limits involve no stochastics: all engines nail it."""
+        window = next(c for c in comparisons if c.scenario.name == "window-limited")
+        assert window.max_disagreement() <= 1.1
+
+    def test_loss_ordering_consistent(self, comparisons):
+        """Every engine ranks the scenarios the same way."""
+        clean = next(c for c in comparisons if c.scenario.name == "clean-bottleneck")
+        lossy = next(c for c in comparisons if c.scenario.name == "lossy-long")
+        assert clean.model_mbps > lossy.model_mbps
+        assert clean.fluid_mbps > lossy.fluid_mbps
+        assert clean.packet_mbps > lossy.packet_mbps
+
+    def test_single_engine_helpers(self):
+        scenario = Scenario("probe", 50.0, 10.0, 0.0, rwnd_bytes=262_144)
+        model = model_throughput(scenario)
+        fluid = fluid_throughput(scenario, seed=1, duration_s=20.0)
+        packet = packet_throughput(scenario, seed=1, duration_s=10.0)
+        for value in (model, fluid, packet):
+            assert value > 0
+
+    def test_render(self, comparisons):
+        text = render_comparison(comparisons)
+        assert "max disagreement" in text
+        for scenario in CANONICAL_SCENARIOS:
+            assert scenario.name in text
+
+    def test_zero_throughput_rejected(self):
+        comparison = EngineComparison(
+            scenario=CANONICAL_SCENARIOS[0],
+            model_mbps=0.0,
+            fluid_mbps=1.0,
+            packet_mbps=1.0,
+        )
+        with pytest.raises(TransportError):
+            comparison.max_disagreement()

@@ -1,0 +1,136 @@
+"""Packet-level tunnel + NAT pipeline (the Fig. 1 round trip)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TunnelError
+from repro.tunnel import MasqueradeNat, TunnelSpec, TunnelType
+from repro.tunnel.packet import (
+    EncapsulatedPacket,
+    Packet,
+    decapsulate,
+    encapsulate,
+    masquerade_outbound,
+    masquerade_return,
+)
+
+
+def make_packet(payload=1_000, src_port=40_001):
+    return Packet(
+        src_ip="10.1.1.1",
+        dst_ip="203.0.113.9",
+        protocol="tcp",
+        src_port=src_port,
+        dst_port=80,
+        payload_bytes=payload,
+    )
+
+
+class TestPacket:
+    def test_wire_size(self):
+        assert make_packet(payload=1_000).wire_bytes == 20 + 20 + 1_000
+
+    def test_udp_header_smaller(self):
+        tcp = make_packet()
+        udp = Packet(
+            src_ip="10.1.1.1", dst_ip="203.0.113.9", protocol="udp",
+            src_port=40_001, dst_port=53, payload_bytes=1_000,
+        )
+        assert udp.wire_bytes < tcp.wire_bytes
+
+    def test_validation(self):
+        with pytest.raises(TunnelError):
+            make_packet(payload=-1)
+        with pytest.raises(TunnelError):
+            make_packet(src_port=0)
+
+
+class TestEncapsulation:
+    def test_roundtrip(self):
+        tunnel = TunnelSpec(tunnel_type=TunnelType.GRE)
+        packet = make_packet()
+        wrapped = encapsulate(packet, tunnel, "10.1.1.1", "198.51.100.1")
+        assert wrapped.wire_bytes == packet.wire_bytes + 24
+        assert decapsulate(wrapped, "198.51.100.1") == packet
+
+    def test_mtu_enforced(self):
+        tunnel = TunnelSpec(tunnel_type=TunnelType.IPSEC_ESP)
+        oversized = make_packet(payload=1_460)  # fits plain MTU, not tunnel
+        with pytest.raises(TunnelError):
+            encapsulate(oversized, tunnel, "10.1.1.1", "198.51.100.1")
+
+    def test_max_inner_mss_fits_exactly(self):
+        tunnel = TunnelSpec(tunnel_type=TunnelType.GRE)
+        packet = make_packet(payload=tunnel.inner_mss_bytes)
+        wrapped = encapsulate(packet, tunnel, "10.1.1.1", "198.51.100.1")
+        assert wrapped.wire_bytes == tunnel.mtu_bytes
+        assert wrapped.fits_mtu()
+
+    def test_misaddressed_decap_rejected(self):
+        tunnel = TunnelSpec(tunnel_type=TunnelType.GRE)
+        wrapped = encapsulate(make_packet(), tunnel, "10.1.1.1", "198.51.100.1")
+        with pytest.raises(TunnelError):
+            decapsulate(wrapped, "198.51.100.99")
+
+
+class TestFullRelayRoundTrip:
+    """Drive one packet through the Fig. 1 pipeline and back."""
+
+    def test_round_trip(self):
+        tunnel = TunnelSpec(tunnel_type=TunnelType.GRE)
+        nat = MasqueradeNat("198.51.100.1")
+
+        # Client -> (tunnel) -> overlay node.
+        original = make_packet()
+        wrapped = encapsulate(original, tunnel, original.src_ip, "198.51.100.1")
+        at_node = decapsulate(wrapped, "198.51.100.1")
+
+        # Node NATs and forwards to the server: source is now the node.
+        outbound = masquerade_outbound(at_node, nat)
+        assert outbound.src_ip == "198.51.100.1"
+        assert outbound.dst_ip == original.dst_ip
+        assert outbound.src_port != original.src_port or outbound.src_ip != original.src_ip
+
+        # Server replies to what it saw (no tunnel on the server side!).
+        reply = Packet(
+            src_ip=outbound.dst_ip,
+            dst_ip=outbound.src_ip,
+            protocol="tcp",
+            src_port=outbound.dst_port,
+            dst_port=outbound.src_port,
+            payload_bytes=500,
+        )
+
+        # Node un-NATs the reply back toward the client.
+        returned = masquerade_return(reply, nat)
+        assert returned.dst_ip == original.src_ip
+        assert returned.dst_port == original.src_port
+
+    def test_unsolicited_return_rejected(self):
+        nat = MasqueradeNat("198.51.100.1")
+        stray = Packet(
+            src_ip="203.0.113.9", dst_ip="198.51.100.1", protocol="tcp",
+            src_port=80, dst_port=33_000, payload_bytes=10,
+        )
+        with pytest.raises(TunnelError):
+            masquerade_return(stray, nat)
+
+    @given(
+        st.integers(min_value=1, max_value=65_535),
+        st.integers(min_value=0, max_value=1_400),
+    )
+    def test_round_trip_property(self, src_port, payload):
+        """Any flow survives the encap/NAT/return pipeline unchanged."""
+        tunnel = TunnelSpec(tunnel_type=TunnelType.GRE)
+        nat = MasqueradeNat("198.51.100.1")
+        original = make_packet(payload=payload, src_port=src_port)
+        wrapped = encapsulate(original, tunnel, original.src_ip, "198.51.100.1")
+        outbound = masquerade_outbound(decapsulate(wrapped, "198.51.100.1"), nat)
+        reply = Packet(
+            src_ip=outbound.dst_ip, dst_ip=outbound.src_ip, protocol="tcp",
+            src_port=outbound.dst_port, dst_port=outbound.src_port, payload_bytes=1,
+        )
+        returned = masquerade_return(reply, nat)
+        assert (returned.dst_ip, returned.dst_port) == (original.src_ip, original.src_port)
