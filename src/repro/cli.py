@@ -32,6 +32,7 @@ EXPERIMENTS: dict[str, str] = {
     "availability": "extension — availability under injected link failures",
     "multicloud": "extension — one cloud provider vs two for the same node budget",
     "selection": "extension — probing vs MPTCP selection regret over a day",
+    "control": "extension — runtime control plane: failover under link outages",
     "engines": "validation — model vs fluid vs packet-level transport engines",
 }
 
@@ -51,6 +52,36 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     _add_common(run)
     run.add_argument("--out", help="also dump the result as JSON to this path")
+
+    control = sub.add_parser(
+        "control", help="run the overlay control plane failover study"
+    )
+    _add_common(control)
+    control.add_argument(
+        "--duration", type=float, default=3_600.0, help="simulated seconds to run"
+    )
+    control.add_argument(
+        "--probe-interval", type=float, default=60.0, help="seconds between path probes"
+    )
+    control.add_argument(
+        "--tick", type=float, default=10.0, help="controller decision tick (seconds)"
+    )
+    control.add_argument(
+        "--outage-start", type=float, default=900.0,
+        help="when the scheduled outage begins (seconds)",
+    )
+    control.add_argument(
+        "--outage-duration", type=float, default=1_200.0,
+        help="how long the outage lasts (seconds)",
+    )
+    control.add_argument(
+        "--probe-budget", type=int, default=None,
+        help="max probe bytes per interval window (default: unlimited)",
+    )
+    control.add_argument(
+        "--metrics", action="store_true", help="also print the metrics snapshot"
+    )
+    control.add_argument("--out", help="also dump the result as JSON to this path")
 
     report = sub.add_parser("report", help="regenerate the whole paper as Markdown")
     _add_common(report)
@@ -87,6 +118,34 @@ def _cmd_world(args: argparse.Namespace) -> int:
     print(f"  links:   {len(internet.links_by_id)}")
     print(f"  clients: {len(world.client_names())}  servers: {len(world.server_names)}")
     print(f"  DCs:     {', '.join(world.dc_cities)}")
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro.experiments.control_exp import ControlExpConfig, run_control
+
+    config = ControlExpConfig(
+        seed=args.seed,
+        scale=args.scale,
+        duration_s=args.duration,
+        tick_s=args.tick,
+        probe_interval_s=args.probe_interval,
+        outage_start_s=args.outage_start,
+        outage_duration_s=args.outage_duration,
+        probe_budget_bytes=args.probe_budget,
+    )
+    result = run_control(config)
+    print(result.render())
+    if args.metrics:
+        print()
+        print("controller metrics snapshot:")
+        for key, value in result.controller_metrics.items():
+            print(f"  {key} = {value}")
+    if args.out:
+        from repro.io import dump_json
+
+        target = dump_json(result, args.out)
+        print(f"[written {target}]")
     return 0
 
 
@@ -163,6 +222,11 @@ def _run_one(name: str, args: argparse.Namespace):
 
         return run_selection(seed=seed, scale=scale)
 
+    if name == "control":
+        from repro.experiments.control_exp import ControlExpConfig, run_control
+
+        return run_control(ControlExpConfig(seed=seed, scale=scale))
+
     if name == "engines":
         from repro.transport.validation import compare_engines, render_comparison
 
@@ -204,6 +268,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "world":
             return _cmd_world(args)
+        if args.command == "control":
+            return _cmd_control(args)
         if args.command == "report":
             from repro.report import write_report
 

@@ -1,0 +1,56 @@
+"""Runtime overlay control plane: probing, path health, failover, metrics.
+
+The subsystem that turns one-shot path selection into a *running*
+overlay: a controller loop that probes candidate paths, tracks their
+health through a hysteretic state machine, re-selects routes through
+pluggable policies, and accounts for every byte and every failover in
+an in-process metrics registry.
+"""
+
+from repro.control.controller import (
+    ControllerReport,
+    GoodputSample,
+    OverlayController,
+)
+from repro.control.decisions import DecisionLog, DecisionRecord
+from repro.control.health import (
+    HealthConfig,
+    HealthTransition,
+    PathHealth,
+    PathState,
+)
+from repro.control.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.control.policy import (
+    BestPathPolicy,
+    C45RulePolicy,
+    MptcpSubflowPolicy,
+    Policy,
+    PolicyDecision,
+    StaticPolicy,
+)
+from repro.control.probes import ProbeConfig, ProbeResult, ProbeScheduler
+
+__all__ = [
+    "BestPathPolicy",
+    "C45RulePolicy",
+    "ControllerReport",
+    "Counter",
+    "DecisionLog",
+    "DecisionRecord",
+    "Gauge",
+    "GoodputSample",
+    "HealthConfig",
+    "HealthTransition",
+    "Histogram",
+    "MetricsRegistry",
+    "MptcpSubflowPolicy",
+    "OverlayController",
+    "PathHealth",
+    "PathState",
+    "Policy",
+    "PolicyDecision",
+    "ProbeConfig",
+    "ProbeResult",
+    "ProbeScheduler",
+    "StaticPolicy",
+]

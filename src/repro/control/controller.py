@@ -1,0 +1,261 @@
+"""The overlay control loop: probe -> assess -> decide -> measure.
+
+:class:`OverlayController` closes the loop the one-shot experiment
+drivers leave open.  Each tick of simulated time it:
+
+1. advances the world clock (scheduled :class:`~repro.net.failures.
+   FailureSchedule` outages fire here),
+2. fires any due probes from the :class:`~repro.control.probes.
+   ProbeScheduler` (budgeted, jittered),
+3. feeds results into the per-path :class:`~repro.control.health.
+   PathHealth` machines,
+4. asks its :class:`~repro.control.policy.Policy` for the active set,
+   logging every change as a :class:`~repro.control.decisions.
+   DecisionRecord`,
+5. samples the goodput the active set actually delivers (coupled-MPTCP
+   semantics: the aggregate rides the best live subflow), accumulating
+   downtime whenever that goodput is zero.
+
+Everything observable lands in a :class:`~repro.control.metrics.
+MetricsRegistry`, so a fixed seed yields a byte-identical snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.decisions import DecisionLog, DecisionRecord
+from repro.control.health import HealthConfig, HealthTransition, PathHealth, PathState
+from repro.control.metrics import MetricsRegistry
+from repro.control.policy import Policy
+from repro.control.probes import ProbeScheduler
+from repro.core.pathset import PathSet, PathType
+from repro.errors import ControlError
+from repro.net.world import Internet
+
+#: Buckets for failover switch latency (seconds).
+SWITCH_LATENCY_BUCKETS: tuple[float, ...] = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 900.0)
+
+
+@dataclass(frozen=True, slots=True)
+class GoodputSample:
+    """Goodput delivered by the active set at one tick."""
+
+    at_time: float
+    goodput_mbps: float
+    active: tuple[str, ...]
+
+
+@dataclass
+class ControllerReport:
+    """What one controller run produced."""
+
+    policy: str
+    tick_s: float
+    duration_s: float
+    samples: list[GoodputSample]
+    decisions: DecisionLog
+    metrics: dict[str, object]
+    downtime_s: float
+    probe_bytes: int
+    probes_sent: int
+    probes_skipped: int
+    failovers: int
+    time_in_state: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def mean_goodput_mbps(self) -> float:
+        """Time-average goodput over the run."""
+        if not self.samples:
+            return 0.0
+        return sum(s.goodput_mbps for s in self.samples) / len(self.samples)
+
+    def availability(self) -> float:
+        """Fraction of the run with non-zero goodput."""
+        if self.duration_s <= 0:
+            return 0.0
+        return 1.0 - self.downtime_s / self.duration_s
+
+    def render(self) -> str:
+        """Multi-line summary: headline numbers plus the decision log."""
+        lines = [
+            f"policy {self.policy}: mean goodput "
+            f"{self.mean_goodput_mbps:.2f} Mbps, downtime {self.downtime_s:.0f} s "
+            f"({self.availability():.1%} available)",
+            f"  probes: {self.probes_sent} sent, {self.probes_skipped} skipped, "
+            f"{self.probe_bytes} bytes; failovers: {self.failovers}",
+        ]
+        changes = self.decisions.changes()
+        if changes:
+            lines.append("  decisions:")
+            lines.extend(f"    {record.render()}" for record in changes)
+        return "\n".join(lines)
+
+
+class OverlayController:
+    """Drives one sender/receiver pair's path set through time."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        pathset: PathSet,
+        policy: Policy,
+        scheduler: ProbeScheduler | None = None,
+        health_config: HealthConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        tick_s: float = 5.0,
+        mode: PathType = PathType.SPLIT_OVERLAY,
+    ) -> None:
+        if tick_s <= 0:
+            raise ControlError(f"tick must be positive, got {tick_s}")
+        if scheduler is not None and scheduler.pathset is not pathset:
+            raise ControlError("scheduler was built for a different path set")
+        if mode is PathType.DIRECT:
+            raise ControlError("controller mode must be an overlay path type")
+        self.internet = internet
+        self.pathset = pathset
+        self.policy = policy
+        self.scheduler = scheduler
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tick_s = tick_s
+        self.mode = mode
+        now = internet.now
+        config = health_config if health_config is not None else HealthConfig()
+        labels = (
+            scheduler.labels
+            if scheduler is not None
+            else ("direct", *(option.name for option in pathset.options))
+        )
+        self.health: dict[str, PathHealth] = {
+            label: PathHealth(label=label, config=config, created_at=now)
+            for label in labels
+        }
+        self.decisions = DecisionLog()
+        self.active: tuple[str, ...] = ()
+        #: When the most recent FAILED transition of an active path
+        #: happened — the clock switch latency is measured against.
+        self._active_failed_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # per-tick steps
+    # ------------------------------------------------------------------
+    def _run_probes(self, now: float) -> list[HealthTransition]:
+        if self.scheduler is None:
+            return []
+        before_skipped = self.scheduler.probes_skipped
+        transitions: list[HealthTransition] = []
+        for result in self.scheduler.probe_due(now):
+            self.metrics.counter("probes_sent_total", {"path": result.label}).inc()
+            self.metrics.counter("probe_bytes_total").inc(result.bytes_cost)
+            if not result.ok:
+                self.metrics.counter("probe_timeouts_total", {"path": result.label}).inc()
+            transition = self.health[result.label].observe(result)
+            if transition is not None:
+                transitions.append(transition)
+                self.metrics.counter(
+                    "health_transitions_total",
+                    {"path": transition.label, "to": transition.new.value},
+                ).inc()
+                if transition.new is PathState.FAILED and transition.label in self.active:
+                    self._active_failed_at = transition.at_time
+        skipped = self.scheduler.probes_skipped - before_skipped
+        if skipped:
+            self.metrics.counter("probes_skipped_total").inc(skipped)
+        return transitions
+
+    def _decide(self, now: float, triggers: list[HealthTransition]) -> None:
+        probes = self.scheduler.last_result if self.scheduler is not None else {}
+        decision = self.policy.decide(now, self.health, probes, self.active)
+        if decision.active == self.active:
+            return
+        record = DecisionRecord(
+            at_time=now,
+            policy=self.policy.name,
+            old_active=self.active,
+            new_active=decision.active,
+            reason=decision.reason,
+            triggers=tuple(triggers),
+        )
+        self.decisions.append(record)
+        if self.active:  # the very first activation is not a failover
+            self.metrics.counter("failovers_total").inc()
+            if self._active_failed_at is not None:
+                self.metrics.histogram(
+                    "switch_latency_seconds", buckets=SWITCH_LATENCY_BUCKETS
+                ).observe(now - self._active_failed_at)
+                self._active_failed_at = None
+        self.active = decision.active
+        self.metrics.gauge("active_paths").set(len(self.active))
+
+    def _goodput(self, now: float) -> float:
+        """Goodput of the active set: best live member (coupled MPTCP)."""
+        best = 0.0
+        for label in self.active:
+            if label == "direct":
+                path = self.pathset.direct
+                if not path.is_alive():
+                    continue
+                rate = self.pathset.direct_connection().throughput_at(now)
+            else:
+                option = next(o for o in self.pathset.options if o.name == label)
+                if not option.concatenated.is_alive():
+                    continue
+                if self.mode is PathType.OVERLAY:
+                    rate = self.pathset.overlay_connection(option).throughput_at(now)
+                else:
+                    chain = self.pathset.split_chain(option)
+                    rate = (
+                        chain.discrete_bound_at(now)
+                        if self.mode is PathType.DISCRETE_OVERLAY
+                        else chain.throughput_at(now)
+                    )
+            best = max(best, rate)
+        return best
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> ControllerReport:
+        """Drive the loop for ``duration_s`` of simulated time."""
+        if duration_s <= 0:
+            raise ControlError(f"duration must be positive, got {duration_s}")
+        samples: list[GoodputSample] = []
+        downtime_s = 0.0
+        start = self.internet.now
+        end = start + duration_s
+        now = start
+        while now < end:
+            triggers = self._run_probes(now)
+            self._decide(now, triggers)
+            goodput = self._goodput(now)
+            samples.append(
+                GoodputSample(at_time=now, goodput_mbps=goodput, active=self.active)
+            )
+            step = min(self.tick_s, end - now)
+            if goodput <= 0.0:
+                downtime_s += step
+            self.metrics.gauge("goodput_mbps").set(goodput)
+            now = self.internet.advance(step)
+
+        for label, machine in self.health.items():
+            for state_name, seconds in machine.time_in_state(end).items():
+                self.metrics.gauge(
+                    "time_in_state_seconds", {"path": label, "state": state_name}
+                ).set(round(seconds, 6))
+        return ControllerReport(
+            policy=self.policy.name,
+            tick_s=self.tick_s,
+            duration_s=duration_s,
+            samples=samples,
+            decisions=self.decisions,
+            metrics=self.metrics.snapshot(),
+            downtime_s=downtime_s,
+            probe_bytes=self.scheduler.total_bytes if self.scheduler else 0,
+            probes_sent=self.scheduler.probes_sent if self.scheduler else 0,
+            probes_skipped=self.scheduler.probes_skipped if self.scheduler else 0,
+            failovers=int(self.metrics.counter("failovers_total").value),
+            time_in_state={
+                label: machine.time_in_state(end)
+                for label, machine in self.health.items()
+            },
+        )

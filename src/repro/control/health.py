@@ -1,0 +1,214 @@
+"""Per-path health: a HEALTHY / DEGRADED / FAILED state machine.
+
+Probe results drive the machine; hysteresis keeps it honest:
+
+* it takes several consecutive bad observations to *demote* a path
+  (one lost probe is noise, not an outage), and
+* several consecutive good observations — plus, out of DEGRADED, a
+  recovery hold timer — to *promote* it back, so a flapping path
+  cannot oscillate the controller.
+
+::
+
+                 degraded x N                bad x M
+    HEALTHY  ────────────────►  DEGRADED ────────────►  FAILED
+       ▲                          │  ▲                    │
+       │   good x K + hold        │  │     good x K       │
+       └──────────────────────────┘  └────────────────────┘
+
+Degradation is judged against a per-path EWMA RTT baseline learned
+while the path is good — "slower than *your own usual*", not an
+absolute threshold, mirroring how latency-aware overlay controllers
+score paths.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.control.probes import ProbeResult
+from repro.errors import ControlError
+
+
+class PathState(enum.Enum):
+    """Health of one candidate path, best to worst."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+#: Ordering for "prefer healthier paths" comparisons.
+STATE_RANK: dict[PathState, int] = {
+    PathState.HEALTHY: 0,
+    PathState.DEGRADED: 1,
+    PathState.FAILED: 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class HealthConfig:
+    """Thresholds and hysteresis of the state machine."""
+
+    #: RTT above baseline * factor counts as a degraded observation.
+    degrade_rtt_factor: float = 1.5
+    #: Loss at/above this counts as a degraded observation.
+    degrade_loss: float = 0.02
+    #: Loss at/above this (or a timed-out probe) counts as a bad observation.
+    fail_loss: float = 0.5
+    #: Consecutive degraded-or-worse observations before DEGRADED.
+    degrade_after: int = 2
+    #: Consecutive bad observations before FAILED.
+    fail_after: int = 2
+    #: Consecutive good observations per promotion step.
+    recover_after: int = 2
+    #: Minimum seconds since the last non-good observation before a
+    #: DEGRADED path may be promoted to HEALTHY.
+    recovery_hold_s: float = 60.0
+    #: EWMA weight of the newest good RTT sample in the baseline.
+    baseline_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.degrade_rtt_factor <= 1.0:
+            raise ControlError("degrade_rtt_factor must exceed 1.0")
+        if not 0.0 < self.degrade_loss <= self.fail_loss <= 1.0:
+            raise ControlError(
+                f"need 0 < degrade_loss <= fail_loss <= 1, got "
+                f"{self.degrade_loss} / {self.fail_loss}"
+            )
+        if min(self.degrade_after, self.fail_after, self.recover_after) < 1:
+            raise ControlError("hysteresis counts must be >= 1")
+        if self.recovery_hold_s < 0:
+            raise ControlError("recovery_hold_s must be >= 0")
+        if not 0.0 < self.baseline_alpha <= 1.0:
+            raise ControlError("baseline_alpha must be in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class HealthTransition:
+    """One state change, with the observation that caused it."""
+
+    label: str
+    at_time: float
+    old: PathState
+    new: PathState
+    reason: str
+
+
+@dataclass
+class PathHealth:
+    """State machine for one candidate path."""
+
+    label: str
+    config: HealthConfig = field(default_factory=HealthConfig)
+    state: PathState = PathState.HEALTHY
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.baseline_rtt_ms: float | None = None
+        self._good_streak = 0
+        self._notgood_streak = 0
+        self._bad_streak = 0
+        self._last_notgood_time = -math.inf
+        self._since = self.created_at
+        self._time_in_state: dict[PathState, float] = {s: 0.0 for s in PathState}
+        self.transitions: list[HealthTransition] = []
+
+    # ------------------------------------------------------------------
+    # observation classification
+    # ------------------------------------------------------------------
+    def _classify(self, probe: ProbeResult) -> str:
+        """"good" | "degraded" | "bad" for one probe result."""
+        if not probe.ok or probe.loss >= self.config.fail_loss:
+            return "bad"
+        if probe.loss >= self.config.degrade_loss:
+            return "degraded"
+        if (
+            self.baseline_rtt_ms is not None
+            and probe.rtt_ms > self.baseline_rtt_ms * self.config.degrade_rtt_factor
+        ):
+            return "degraded"
+        return "good"
+
+    def _update_baseline(self, rtt_ms: float) -> None:
+        if self.baseline_rtt_ms is None:
+            self.baseline_rtt_ms = rtt_ms
+        else:
+            alpha = self.config.baseline_alpha
+            self.baseline_rtt_ms = alpha * rtt_ms + (1.0 - alpha) * self.baseline_rtt_ms
+
+    # ------------------------------------------------------------------
+    # the machine
+    # ------------------------------------------------------------------
+    def observe(self, probe: ProbeResult) -> HealthTransition | None:
+        """Feed one probe result; returns the transition it caused, if any."""
+        if probe.label != self.label:
+            raise ControlError(
+                f"probe for {probe.label!r} fed to health machine of {self.label!r}"
+            )
+        kind = self._classify(probe)
+        if kind == "good":
+            self._good_streak += 1
+            self._notgood_streak = 0
+            self._bad_streak = 0
+            self._update_baseline(probe.rtt_ms)
+        else:
+            self._good_streak = 0
+            self._notgood_streak += 1
+            self._bad_streak = self._bad_streak + 1 if kind == "bad" else 0
+            self._last_notgood_time = probe.at_time
+        return self._maybe_transition(probe.at_time, kind)
+
+    def _maybe_transition(self, now: float, kind: str) -> HealthTransition | None:
+        cfg = self.config
+        new: PathState | None = None
+        reason = ""
+        if self.state is not PathState.FAILED and self._bad_streak >= cfg.fail_after:
+            new = PathState.FAILED
+            reason = f"{self._bad_streak} consecutive failed probes"
+        elif self.state is PathState.HEALTHY and self._notgood_streak >= cfg.degrade_after:
+            new = PathState.DEGRADED
+            reason = f"{self._notgood_streak} consecutive degraded probes"
+        elif self.state is PathState.FAILED and self._good_streak >= cfg.recover_after:
+            new = PathState.DEGRADED
+            reason = f"{self._good_streak} consecutive good probes"
+        elif (
+            self.state is PathState.DEGRADED
+            and self._good_streak >= cfg.recover_after
+            and now - self._last_notgood_time >= cfg.recovery_hold_s
+        ):
+            new = PathState.HEALTHY
+            reason = (
+                f"{self._good_streak} consecutive good probes, "
+                f"hold {cfg.recovery_hold_s:g}s elapsed"
+            )
+        if new is None or new is self.state:
+            return None
+        transition = HealthTransition(
+            label=self.label, at_time=now, old=self.state, new=new, reason=reason
+        )
+        self._time_in_state[self.state] += now - self._since
+        self._since = now
+        self.state = new
+        # A promotion step consumes the good streak: FAILED -> DEGRADED
+        # -> HEALTHY takes recover_after good probes *per step*.
+        if new in (PathState.DEGRADED, PathState.HEALTHY) and kind == "good":
+            self._good_streak = 0
+        self.transitions.append(transition)
+        return transition
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def time_in_state(self, now: float) -> dict[str, float]:
+        """Seconds spent per state, the open interval charged to ``now``."""
+        totals = {state.value: seconds for state, seconds in self._time_in_state.items()}
+        totals[self.state.value] += max(0.0, now - self._since)
+        return totals
+
+    @property
+    def usable(self) -> bool:
+        """True while the path may carry traffic (not FAILED)."""
+        return self.state is not PathState.FAILED

@@ -1,0 +1,298 @@
+"""Re-selection policies: which path(s) should carry traffic *now*.
+
+A :class:`Policy` maps (health states, freshest probe results, current
+active set) to a new active set.  Three concrete policies cover the
+paper's spectrum:
+
+* :class:`StaticPolicy` — the no-control baseline: one pinned path,
+  never re-selected (what a plain BGP user gets).
+* :class:`BestPathPolicy` — classic probe-based overlay routing: run on
+  the highest-throughput usable path, with a switch margin so small
+  probe wiggles do not cause flapping.
+* :class:`C45RulePolicy` — the paper's Sec. V-B decision rule: leave
+  the direct path only when an overlay cuts RTT by >= 10.5 % *and*
+  loss by >= 12.1 % (thresholds configurable; C4.5 re-extraction can
+  feed them), or when the direct path has outright failed.
+* :class:`MptcpSubflowPolicy` — Sec. VI: keep an MPTCP subflow on every
+  usable candidate; health transitions add/prune subflows instead of
+  switching a single path.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.control.health import PathHealth, PathState, STATE_RANK
+from repro.control.probes import ProbeResult
+from repro.errors import ControlError
+
+#: The paper's C4.5 thresholds (Sec. V-B): RTT cut 10.5 %, loss cut 12.1 %.
+C45_RTT_CUT = 0.105
+C45_LOSS_CUT = 0.121
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyDecision:
+    """The active path set a policy wants, and why."""
+
+    active: tuple[str, ...]
+    reason: str
+
+    def __post_init__(self) -> None:
+        if len(set(self.active)) != len(self.active):
+            raise ControlError(f"duplicate labels in active set {self.active}")
+
+
+class Policy(abc.ABC):
+    """Base class for re-selection policies."""
+
+    #: Short identifier used in decision logs and metrics labels.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+    ) -> PolicyDecision:
+        """Choose the next active set given the freshest state."""
+
+    @staticmethod
+    def _score(label: str, probes: Mapping[str, ProbeResult]) -> float:
+        """Throughput-first score of one path from its last probe."""
+        probe = probes.get(label)
+        if probe is None or not probe.ok:
+            return -math.inf
+        if probe.throughput_mbps is not None:
+            return probe.throughput_mbps
+        # RTT-only probing: prefer lower RTT.
+        return -probe.rtt_ms
+
+    @staticmethod
+    def _usable(label: str, health: Mapping[str, PathHealth]) -> bool:
+        machine = health.get(label)
+        return machine is None or machine.usable
+
+
+class StaticPolicy(Policy):
+    """Pin one path forever — the uncontrolled baseline."""
+
+    name = "static"
+
+    def __init__(self, label: str = "direct") -> None:
+        self.label = label
+
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+    ) -> PolicyDecision:
+        return PolicyDecision(active=(self.label,), reason=f"pinned to {self.label}")
+
+
+class BestPathPolicy(Policy):
+    """Probe-based best path with a hysteresis switch margin.
+
+    Switch away from the current path only when it is no longer usable
+    or a challenger beats it by more than ``switch_margin`` (relative).
+    Healthier states win before throughput is compared, so a DEGRADED
+    fast path does not outrank a HEALTHY slightly-slower one.
+    """
+
+    name = "best-path"
+
+    def __init__(self, switch_margin: float = 0.10) -> None:
+        if switch_margin < 0:
+            raise ControlError(f"switch margin must be >= 0, got {switch_margin}")
+        self.switch_margin = switch_margin
+
+    def _rank(
+        self,
+        label: str,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+    ) -> tuple[int, float]:
+        machine = health.get(label)
+        state_rank = STATE_RANK[machine.state] if machine is not None else 0
+        return (state_rank, -self._score(label, probes))
+
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+    ) -> PolicyDecision:
+        candidates = sorted(
+            (label for label in health if self._usable(label, health)),
+            key=lambda label: (*self._rank(label, health, probes), label),
+        )
+        if not candidates:
+            return PolicyDecision(active=(), reason="no usable path")
+        best = candidates[0]
+        incumbent = current[0] if current else None
+        if (
+            incumbent is not None
+            and incumbent in health
+            and self._usable(incumbent, health)
+            and incumbent != best
+        ):
+            best_rank = self._rank(best, health, probes)
+            cur_rank = self._rank(incumbent, health, probes)
+            same_state = best_rank[0] == cur_rank[0]
+            best_score = -best_rank[1]
+            cur_score = -cur_rank[1]
+            improvement_too_small = (
+                cur_score > 0
+                and best_score < cur_score * (1.0 + self.switch_margin)
+            )
+            if same_state and improvement_too_small:
+                return PolicyDecision(
+                    active=(incumbent,),
+                    reason=(
+                        f"holding {incumbent}: {best} gain below "
+                        f"{self.switch_margin:.0%} margin"
+                    ),
+                )
+        reason = (
+            f"{best} is best usable path"
+            if incumbent == best
+            else f"switch to {best}: best usable path"
+        )
+        return PolicyDecision(active=(best,), reason=reason)
+
+
+class C45RulePolicy(Policy):
+    """The paper's threshold rule, applied continuously.
+
+    Stay on the direct path by default.  Move to an overlay only when
+    its probes show RTT cut >= ``rtt_cut`` *and* loss cut >=
+    ``loss_cut`` relative to direct (or direct is FAILED, in which case
+    the best usable overlay carries the traffic).  Return to direct as
+    soon as the rule stops holding and direct is usable.
+    """
+
+    name = "c45-rule"
+
+    def __init__(self, rtt_cut: float = C45_RTT_CUT, loss_cut: float = C45_LOSS_CUT) -> None:
+        if not 0.0 <= rtt_cut < 1.0 or not 0.0 <= loss_cut < 1.0:
+            raise ControlError(f"cuts must be fractions in [0, 1): {rtt_cut}, {loss_cut}")
+        self.rtt_cut = rtt_cut
+        self.loss_cut = loss_cut
+
+    def _rule_holds(self, direct: ProbeResult, overlay: ProbeResult) -> bool:
+        if not (direct.ok and overlay.ok):
+            return False
+        if direct.rtt_ms <= 0 or direct.loss <= 0:
+            # Nothing to cut: the paper's rule requires *both* reductions.
+            return False
+        rtt_reduction = 1.0 - overlay.rtt_ms / direct.rtt_ms
+        loss_reduction = 1.0 - overlay.loss / direct.loss
+        return rtt_reduction >= self.rtt_cut and loss_reduction >= self.loss_cut
+
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+    ) -> PolicyDecision:
+        direct_probe = probes.get("direct")
+        direct_usable = self._usable("direct", health) and "direct" in health
+        overlays = [label for label in health if label != "direct"]
+
+        if not direct_usable or (direct_probe is not None and not direct_probe.ok):
+            fallback = sorted(
+                (label for label in overlays if self._usable(label, health)),
+                key=lambda label: (-self._score(label, probes), label),
+            )
+            if not fallback:
+                return PolicyDecision(active=(), reason="direct failed, no usable overlay")
+            return PolicyDecision(
+                active=(fallback[0],),
+                reason=f"direct failed: fallback to {fallback[0]}",
+            )
+
+        if direct_probe is None:
+            return PolicyDecision(active=("direct",), reason="no probe data yet")
+
+        qualifying = sorted(
+            (
+                label
+                for label in overlays
+                if self._usable(label, health)
+                and label in probes
+                and self._rule_holds(direct_probe, probes[label])
+            ),
+            key=lambda label: (-self._score(label, probes), label),
+        )
+        incumbent = current[0] if current else None
+        if incumbent in qualifying:
+            # Hysteresis: keep the overlay we are on while it qualifies.
+            return PolicyDecision(
+                active=(incumbent,), reason=f"{incumbent} still satisfies C4.5 rule"
+            )
+        if qualifying:
+            chosen = qualifying[0]
+            return PolicyDecision(
+                active=(chosen,),
+                reason=(
+                    f"{chosen} cuts RTT >= {self.rtt_cut:.1%} and "
+                    f"loss >= {self.loss_cut:.1%} vs direct"
+                ),
+            )
+        return PolicyDecision(active=("direct",), reason="no overlay satisfies C4.5 rule")
+
+
+class MptcpSubflowPolicy(Policy):
+    """Maintain an MPTCP subflow on every usable candidate path.
+
+    FAILED paths are pruned from the subflow set; recovered paths are
+    re-added.  ``max_subflows`` caps the set (healthiest, then fastest,
+    win), modelling hosts that bound per-connection subflow state.
+    """
+
+    name = "mptcp-subflows"
+
+    def __init__(self, max_subflows: int | None = None) -> None:
+        if max_subflows is not None and max_subflows < 1:
+            raise ControlError(f"max_subflows must be >= 1, got {max_subflows}")
+        self.max_subflows = max_subflows
+
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+    ) -> PolicyDecision:
+        usable = sorted(
+            (label for label in health if self._usable(label, health)),
+            key=lambda label: (
+                STATE_RANK[health[label].state],
+                -self._score(label, probes),
+                label,
+            ),
+        )
+        if self.max_subflows is not None:
+            usable = usable[: self.max_subflows]
+        active = tuple(sorted(usable))
+        added = sorted(set(active) - set(current))
+        pruned = sorted(set(current) - set(active))
+        if not added and not pruned:
+            reason = f"subflow set unchanged ({len(active)} subflows)"
+        else:
+            parts = []
+            if added:
+                parts.append(f"add {'+'.join(added)}")
+            if pruned:
+                parts.append(f"prune {'+'.join(pruned)}")
+            reason = ", ".join(parts)
+        return PolicyDecision(active=active, reason=reason)

@@ -1,0 +1,192 @@
+"""Active probing: jittered, byte-budgeted RTT/loss/throughput probes.
+
+The classic overlay control loop (RON, SMART) spends a probe budget to
+keep fresh path state.  :class:`ProbeScheduler` issues probes over a
+:class:`~repro.core.pathset.PathSet`'s candidate paths ("direct" plus
+one label per overlay node):
+
+* each path is probed on its own jittered interval so probes do not
+  synchronize into bursts,
+* every probe costs bytes (pings, plus an optional short throughput
+  transfer) and the scheduler enforces an optional per-interval byte
+  budget — when the budget is exhausted, probes are *skipped* and
+  counted, not silently dropped,
+* a probe against a path crossing a failed link times out: ``ok=False``,
+  loss 1.0, infinite RTT — exactly what a real prober would report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pathset import OverlayPathOption, PathSet, PathType
+from repro.errors import ControlError
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Outcome of probing one path at one instant."""
+
+    label: str
+    at_time: float
+    ok: bool
+    rtt_ms: float
+    loss: float
+    throughput_mbps: float | None
+    bytes_cost: int
+
+    def __post_init__(self) -> None:
+        if self.bytes_cost < 0:
+            raise ControlError(f"probe cost cannot be negative: {self.bytes_cost}")
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeConfig:
+    """Probing knobs: cadence, jitter, cost model, budget."""
+
+    interval_s: float = 30.0
+    #: Each path's next probe fires interval * (1 +/- jitter_frac).
+    jitter_frac: float = 0.1
+    ping_count: int = 10
+    ping_bytes: int = 64
+    #: Short transfer used to estimate throughput (0 disables it).
+    throughput_probe_bytes: int = 262_144
+    measure_throughput: bool = True
+    #: Max probe bytes per interval window across all paths (None = unlimited).
+    budget_bytes_per_interval: int | None = None
+    #: Overlay measurement mode used for throughput probes.
+    mode: PathType = PathType.SPLIT_OVERLAY
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ControlError(f"probe interval must be positive, got {self.interval_s}")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ControlError(f"jitter_frac must be in [0, 1), got {self.jitter_frac}")
+        if self.ping_count <= 0 or self.ping_bytes <= 0:
+            raise ControlError("ping probe parameters must be positive")
+        if self.budget_bytes_per_interval is not None and self.budget_bytes_per_interval <= 0:
+            raise ControlError("probe byte budget must be positive when set")
+        if self.mode is PathType.DIRECT:
+            raise ControlError("probe mode must be an overlay path type")
+
+
+class ProbeScheduler:
+    """Issues probes over a path set on jittered per-path timers."""
+
+    def __init__(
+        self, pathset: PathSet, config: ProbeConfig, rng: np.random.Generator
+    ) -> None:
+        self.pathset = pathset
+        self.config = config
+        self.rng = rng
+        self._options: dict[str, OverlayPathOption] = {
+            option.name: option for option in pathset.options
+        }
+        self.labels: tuple[str, ...] = ("direct", *self._options)
+        #: All paths are due immediately so the controller starts informed.
+        self._next_due: dict[str, float] = {label: 0.0 for label in self.labels}
+        self.last_result: dict[str, ProbeResult] = {}
+        self.total_bytes = 0
+        self.probes_sent = 0
+        self.probes_skipped = 0
+        self._window_start = 0.0
+        self._window_bytes = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def due(self, now: float) -> list[str]:
+        """Labels whose probe timer has expired at ``now`` (sorted)."""
+        return [label for label in self.labels if self._next_due[label] <= now]
+
+    def _reschedule(self, label: str, now: float) -> None:
+        jitter = self.config.jitter_frac
+        factor = 1.0 + float(self.rng.uniform(-jitter, jitter)) if jitter else 1.0
+        self._next_due[label] = now + self.config.interval_s * factor
+
+    def _budget_allows(self, now: float, cost: int) -> bool:
+        budget = self.config.budget_bytes_per_interval
+        if budget is None:
+            return True
+        if now - self._window_start >= self.config.interval_s:
+            self._window_start = now
+            self._window_bytes = 0
+        return self._window_bytes + cost <= budget
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def probe(self, label: str, now: float) -> ProbeResult | None:
+        """Probe one path; ``None`` when the byte budget forbids it.
+
+        A skipped probe is rescheduled a full interval out, so a tight
+        budget degrades probe freshness rather than deadlocking.
+        """
+        if label not in self._next_due:
+            raise ControlError(f"unknown probe target {label!r}; have {list(self.labels)}")
+        path = self.pathset.direct if label == "direct" else self._options[label].concatenated
+        alive = path.is_alive()
+        cost = self.config.ping_count * self.config.ping_bytes
+        if alive:
+            cost *= 2  # echo replies come back
+            if self.config.measure_throughput:
+                cost += self.config.throughput_probe_bytes
+        if not self._budget_allows(now, cost):
+            self.probes_skipped += 1
+            self._reschedule(label, now)
+            return None
+        self._window_bytes += cost
+        self.total_bytes += cost
+        self.probes_sent += 1
+        self._reschedule(label, now)
+
+        if not alive:
+            result = ProbeResult(
+                label=label,
+                at_time=now,
+                ok=False,
+                rtt_ms=math.inf,
+                loss=1.0,
+                throughput_mbps=0.0 if self.config.measure_throughput else None,
+                bytes_cost=cost,
+            )
+        else:
+            metrics = path.metrics(now)
+            throughput = (
+                self._throughput(label, now) if self.config.measure_throughput else None
+            )
+            result = ProbeResult(
+                label=label,
+                at_time=now,
+                ok=True,
+                rtt_ms=metrics.rtt_ms,
+                loss=metrics.loss,
+                throughput_mbps=throughput,
+                bytes_cost=cost,
+            )
+        self.last_result[label] = result
+        return result
+
+    def _throughput(self, label: str, now: float) -> float:
+        """Estimated TCP throughput of one candidate path at ``now``."""
+        if label == "direct":
+            return self.pathset.direct_connection().throughput_at(now)
+        option = self._options[label]
+        if self.config.mode is PathType.OVERLAY:
+            return self.pathset.overlay_connection(option).throughput_at(now)
+        chain = self.pathset.split_chain(option)
+        if self.config.mode is PathType.DISCRETE_OVERLAY:
+            return chain.discrete_bound_at(now)
+        return chain.throughput_at(now)
+
+    def probe_due(self, now: float) -> list[ProbeResult]:
+        """Probe every due path; returns the results actually obtained."""
+        results = []
+        for label in self.due(now):
+            result = self.probe(label, now)
+            if result is not None:
+                results.append(result)
+        return results

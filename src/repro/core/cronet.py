@@ -26,6 +26,22 @@ class CRONet:
     provider: CloudProvider
     nodes: list[OverlayNode] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._by_name: dict[str, OverlayNode] = {}
+        for node in self.nodes:
+            self._index(node)
+
+    def _index(self, node: OverlayNode) -> None:
+        """Register a node in the name index, rejecting duplicates."""
+        if node.name in self._by_name:
+            raise ConfigError(f"duplicate overlay node name {node.name!r}")
+        self._by_name[node.name] = node
+
+    def add_node(self, node: OverlayNode) -> None:
+        """Add a relay to the overlay (keeps the name index consistent)."""
+        self._index(node)
+        self.nodes.append(node)
+
     @classmethod
     def build(
         cls,
@@ -43,7 +59,7 @@ class CRONet:
         overlay = cls(internet=internet, provider=provider)
         for dc_name in dc_names:
             server = provider.rent_vm(internet, dc_name, port_speed=port_speed)
-            overlay.nodes.append(OverlayNode(host=server.host, mode=mode))
+            overlay.add_node(OverlayNode(host=server.host, mode=mode))
         return overlay
 
     @property
@@ -52,11 +68,13 @@ class CRONet:
         return [node.name for node in self.nodes]
 
     def node(self, name: str) -> OverlayNode:
-        """Look up an overlay node by name."""
-        for candidate in self.nodes:
-            if candidate.name == name:
-                return candidate
-        raise ConfigError(f"no overlay node named {name!r}; have {self.node_names}")
+        """Look up an overlay node by name (O(1) via the name index)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(
+                f"no overlay node named {name!r}; have {self.node_names}"
+            ) from None
 
     def subset(self, names: list[str]) -> "CRONet":
         """A view restricted to some nodes (placement experiments)."""

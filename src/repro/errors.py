@@ -61,5 +61,9 @@ class ExperimentError(ReproError):
     """An experiment driver could not complete."""
 
 
+class ControlError(ReproError):
+    """The overlay control plane was misused or misconfigured."""
+
+
 class PlanetLabError(ReproError):
     """PlanetLab client population errors (cap exceeded, unknown site)."""

@@ -18,12 +18,20 @@ from repro.net.world import Internet
 
 @dataclass(frozen=True, slots=True)
 class Sample:
-    """One measurement of one task at one instant."""
+    """One measurement of one task at one instant.
+
+    ``ok`` is False for error-marked samples: the task raised instead
+    of returning a value, ``value`` is None, and ``error`` carries the
+    exception text.  Downstream analysis filters on ``ok`` rather than
+    losing a whole campaign to one flaky task.
+    """
 
     task_id: str
     iteration: int
     at_time: float
     value: Any
+    ok: bool = True
+    error: str | None = None
 
 
 class MeasurementCampaign:
@@ -47,6 +55,11 @@ class MeasurementCampaign:
         (typically a :class:`~repro.transport.throughput.FlowStats`).
         The world clock is advanced by ``interval_s`` *between*
         iterations, so scheduled failures and diurnal load apply.
+
+        A task that raises does not abort the campaign: the failure is
+        recorded as an error-marked :class:`Sample` (``ok=False``) and
+        every other task — and every later iteration — still runs, the
+        way a real measurement harness tolerates flaky vantage points.
         """
         if not tasks:
             raise MeasurementError("campaign has no tasks")
@@ -54,9 +67,20 @@ class MeasurementCampaign:
         for iteration in range(self.iterations):
             now = self.internet.now
             for task_id, task in tasks.items():
-                results[task_id].append(
-                    Sample(task_id=task_id, iteration=iteration, at_time=now, value=task(now))
-                )
+                try:
+                    sample = Sample(
+                        task_id=task_id, iteration=iteration, at_time=now, value=task(now)
+                    )
+                except Exception as error:
+                    sample = Sample(
+                        task_id=task_id,
+                        iteration=iteration,
+                        at_time=now,
+                        value=None,
+                        ok=False,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                results[task_id].append(sample)
             if iteration != self.iterations - 1:
                 self.internet.advance(self.interval_s)
         return results

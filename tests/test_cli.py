@@ -46,3 +46,39 @@ class TestCli:
     def test_run_multihop(self, capsys):
         assert main(["run", "multihop", "--seed", "3", "--scale", "small"]) == 0
         assert "two-hop" in capsys.readouterr().out
+
+    def test_control_subcommand(self, capsys):
+        assert main(
+            [
+                "control",
+                "--seed", "3",
+                "--scale", "small",
+                "--duration", "1200",
+                "--probe-interval", "30",
+                "--tick", "15",
+                "--outage-start", "300",
+                "--outage-duration", "450",
+                "--metrics",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failover study" in out
+        assert "static-direct" in out
+        assert "metrics snapshot" in out
+
+    def test_control_json_dump(self, capsys, tmp_path):
+        target = tmp_path / "control.json"
+        assert main(
+            [
+                "control",
+                "--seed", "3",
+                "--scale", "small",
+                "--duration", "1200",
+                "--outage-start", "300",
+                "--outage-duration", "450",
+                "--out", str(target),
+            ]
+        ) == 0
+        data = json.loads(target.read_text())
+        assert "outcomes" in data
+        assert "failed_links" in data

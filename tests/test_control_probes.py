@@ -1,0 +1,136 @@
+"""ProbeScheduler: jittered cadence, byte budgets, timeout semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.control.probes import ProbeConfig, ProbeScheduler
+from repro.core.pathset import PathSet, PathType
+from repro.errors import ControlError
+from repro.rand import RandomStreams
+from repro.tunnel.node import OverlayNode
+
+
+@pytest.fixture()
+def pathset(small_internet) -> PathSet:
+    node = OverlayNode(host=small_internet.host("vm"))
+    return PathSet.build(small_internet, "server", "client", [node])
+
+
+def scheduler(pathset, **overrides) -> ProbeScheduler:
+    config = ProbeConfig(**overrides)
+    return ProbeScheduler(pathset, config, RandomStreams(seed=5).stream("probe"))
+
+
+class TestScheduling:
+    def test_all_paths_due_at_start(self, pathset):
+        sched = scheduler(pathset)
+        assert sched.due(0.0) == ["direct", "vm"]
+
+    def test_jittered_reschedule_within_bounds(self, pathset):
+        sched = scheduler(pathset, interval_s=30.0, jitter_frac=0.1)
+        sched.probe("direct", 0.0)
+        next_due = sched._next_due["direct"]
+        assert 27.0 <= next_due <= 33.0
+        assert sched.due(next_due - 0.5) == ["vm"]
+
+    def test_deterministic_for_fixed_seed(self, pathset):
+        first = scheduler(pathset)
+        second = scheduler(pathset)
+        a = first.probe("direct", 0.0)
+        b = second.probe("direct", 0.0)
+        assert a == b
+        assert first._next_due == second._next_due
+
+    def test_unknown_label_rejected(self, pathset):
+        with pytest.raises(ControlError):
+            scheduler(pathset).probe("nope", 0.0)
+
+
+class TestProbeResults:
+    def test_live_path_probe(self, pathset):
+        result = scheduler(pathset).probe("direct", 0.0)
+        assert result.ok
+        assert result.rtt_ms > 0
+        assert 0.0 <= result.loss < 1.0
+        assert result.throughput_mbps > 0
+        assert result.bytes_cost > 0
+
+    def test_overlay_probe_uses_concatenated_path(self, pathset):
+        result = scheduler(pathset).probe("vm", 0.0)
+        assert result.ok
+        expected = pathset.options[0].concatenated.rtt_ms(0.0)
+        assert result.rtt_ms == pytest.approx(expected)
+
+    def test_dead_path_times_out(self, pathset):
+        pathset.direct.links[2].fail()
+        result = scheduler(pathset).probe("direct", 0.0)
+        assert not result.ok
+        assert result.rtt_ms == math.inf
+        assert result.loss == 1.0
+        assert result.throughput_mbps == 0.0
+        pathset.direct.links[2].restore()
+
+    def test_timeout_costs_fewer_bytes(self, pathset):
+        live = scheduler(pathset).probe("direct", 0.0)
+        pathset.direct.links[2].fail()
+        dead = scheduler(pathset).probe("direct", 0.0)
+        assert dead.bytes_cost < live.bytes_cost  # no echoes, no transfer
+        pathset.direct.links[2].restore()
+
+    def test_rtt_only_probing(self, pathset):
+        sched = scheduler(pathset, measure_throughput=False)
+        result = sched.probe("direct", 0.0)
+        assert result.throughput_mbps is None
+        assert result.bytes_cost == 2 * 10 * 64
+
+
+class TestBudget:
+    def test_budget_skips_and_counts(self, pathset):
+        # Budget fits one ping-only probe per interval, not two.
+        sched = scheduler(
+            pathset,
+            measure_throughput=False,
+            budget_bytes_per_interval=1500,
+        )
+        first = sched.probe("direct", 0.0)
+        second = sched.probe("vm", 0.0)
+        assert first is not None
+        assert second is None
+        assert sched.probes_sent == 1
+        assert sched.probes_skipped == 1
+
+    def test_budget_window_resets(self, pathset):
+        sched = scheduler(
+            pathset,
+            interval_s=30.0,
+            jitter_frac=0.0,
+            measure_throughput=False,
+            budget_bytes_per_interval=1500,
+        )
+        assert sched.probe("direct", 0.0) is not None
+        assert sched.probe("vm", 0.0) is None
+        # A full interval later the window resets and vm is probed.
+        assert sched.probe("vm", 30.0) is not None
+
+    def test_probe_due_returns_obtained_results(self, pathset):
+        sched = scheduler(pathset, measure_throughput=False)
+        results = sched.probe_due(0.0)
+        assert [r.label for r in results] == ["direct", "vm"]
+        assert sched.last_result["direct"].ok
+
+
+class TestConfigValidation:
+    def test_direct_mode_rejected(self):
+        with pytest.raises(ControlError):
+            ProbeConfig(mode=PathType.DIRECT)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ControlError):
+            ProbeConfig(interval_s=0.0)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ControlError):
+            ProbeConfig(budget_bytes_per_interval=0)

@@ -1,0 +1,47 @@
+"""CRONet node index: O(1) lookup, duplicate rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cronet import CRONet
+from repro.errors import ConfigError
+from repro.tunnel.node import OverlayNode
+
+
+def _vm_node(small_internet) -> OverlayNode:
+    return OverlayNode(host=small_internet.host("vm"))
+
+
+class TestNodeIndex:
+    def test_lookup_by_name(self, small_internet):
+        node = _vm_node(small_internet)
+        overlay = CRONet(internet=small_internet, provider=None, nodes=[node])
+        assert overlay.node("vm") is node
+
+    def test_unknown_name_rejected_with_context(self, small_internet):
+        overlay = CRONet(
+            internet=small_internet, provider=None, nodes=[_vm_node(small_internet)]
+        )
+        with pytest.raises(ConfigError, match="vm"):
+            overlay.node("missing")
+
+    def test_duplicate_names_rejected_at_build(self, small_internet):
+        node = _vm_node(small_internet)
+        with pytest.raises(ConfigError, match="duplicate"):
+            CRONet(internet=small_internet, provider=None, nodes=[node, node])
+
+    def test_add_node_keeps_index_consistent(self, small_internet):
+        overlay = CRONet(internet=small_internet, provider=None, nodes=[])
+        node = _vm_node(small_internet)
+        overlay.add_node(node)
+        assert overlay.node("vm") is node
+        with pytest.raises(ConfigError, match="duplicate"):
+            overlay.add_node(_vm_node(small_internet))
+
+    def test_subset_reindexes(self, small_internet):
+        node = _vm_node(small_internet)
+        overlay = CRONet(internet=small_internet, provider=None, nodes=[node])
+        view = overlay.subset(["vm"])
+        assert view.node("vm") is node
+        assert view.node_names == ["vm"]

@@ -1,0 +1,110 @@
+"""The failover study: acceptance criteria for `repro control`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.control_exp import (
+    ControlExpConfig,
+    pick_unique_link,
+    run_control,
+)
+
+CONFIG = ControlExpConfig(
+    seed=7,
+    scale="small",
+    duration_s=1_800.0,
+    tick_s=10.0,
+    probe_interval_s=30.0,
+    outage_start_s=450.0,
+    outage_duration_s=600.0,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_control(CONFIG)
+
+
+class TestFailoverStudy:
+    def test_static_baseline_down_for_whole_outage(self, result):
+        static = result.outcome("static-direct")
+        assert static.downtime_s == pytest.approx(
+            CONFIG.outage_duration_s, abs=CONFIG.tick_s
+        )
+        assert static.probe_bytes == 0
+
+    def test_controller_restores_within_bounded_probe_intervals(self, result):
+        controller = result.outcome("controller-best")
+        bound = 3 * CONFIG.probe_interval_s + 2 * CONFIG.tick_s
+        assert controller.downtime_s <= bound
+        assert controller.recovery_s is not None
+        assert controller.recovery_s <= bound
+        assert controller.failovers >= 1
+
+    def test_controller_beats_static_on_goodput(self, result):
+        static = result.outcome("static-direct")
+        controller = result.outcome("controller-best")
+        assert controller.mean_goodput_mbps > static.mean_goodput_mbps
+        assert controller.downtime_s < static.downtime_s
+
+    def test_mptcp_rides_through_the_outage(self, result):
+        mptcp = result.outcome("mptcp-subflows")
+        assert mptcp.downtime_s <= CONFIG.tick_s
+        assert mptcp.downtime_s <= result.outcome("controller-best").downtime_s
+
+    def test_probe_overhead_accounted(self, result):
+        for name in ("controller-best", "controller-c45", "mptcp-subflows"):
+            outcome = result.outcome(name)
+            assert outcome.probes_sent > 0
+            assert outcome.probe_bytes > 0
+
+    def test_metrics_snapshot_present_and_structured(self, result):
+        metrics = result.controller_metrics
+        assert metrics["probe_bytes_total"] > 0
+        assert any(key.startswith("probes_sent_total{path=") for key in metrics)
+        assert any(key.startswith("time_in_state_seconds{") for key in metrics)
+        assert "failovers_total" in metrics
+
+    def test_two_outages_target_distinct_paths(self, result):
+        assert "direct" in result.failed_links
+        assert len(result.failed_links) == 2
+        link_ids = list(result.failed_links.values())
+        assert len(set(link_ids)) == 2
+
+    def test_render_mentions_every_strategy(self, result):
+        rendered = result.render()
+        for name in ("static-direct", "controller-best", "controller-c45", "mptcp-subflows"):
+            assert name in rendered
+
+    def test_unknown_strategy_lookup_rejected(self, result):
+        with pytest.raises(ExperimentError):
+            result.outcome("nope")
+
+
+class TestDeterminism:
+    def test_snapshot_identical_for_fixed_seed(self, result):
+        again = run_control(CONFIG)
+        assert again.controller_metrics == result.controller_metrics
+        assert [o.downtime_s for o in again.outcomes] == [
+            o.downtime_s for o in result.outcomes
+        ]
+        assert again.decision_log == result.decision_log
+        assert again.failed_links == result.failed_links
+
+
+class TestConfigValidation:
+    def test_outage_must_fit_horizon(self):
+        with pytest.raises(ExperimentError):
+            ControlExpConfig(duration_s=100.0, outage_start_s=90.0, outage_duration_s=60.0)
+
+    def test_pick_unique_link_requires_disjoint_link(self, result):
+        # Guard utility: identical paths can never be isolated.
+        from repro.experiments.scenario import build_world
+
+        world = build_world(seed=3, scale="small")
+        cronet = world.cronet()
+        pathset = cronet.path_set(world.server_names[0], world.client_names()[0])
+        with pytest.raises(ExperimentError):
+            pick_unique_link(pathset.direct, [pathset.direct])

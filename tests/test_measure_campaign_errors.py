@@ -1,0 +1,62 @@
+"""MeasurementCampaign error tolerance: flaky tasks do not abort runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure import MeasurementCampaign
+
+
+class TestCampaignErrorTolerance:
+    def test_flaky_task_yields_error_samples_and_campaign_continues(self, small_internet):
+        calls = {"n": 0}
+
+        def flaky(now: float) -> float:
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise MeasurementError("vantage point rebooted")
+            return now
+
+        def steady(now: float) -> float:
+            return now
+
+        campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=3)
+        results = campaign.run({"flaky": flaky, "steady": steady})
+
+        # Every task still has one sample per iteration.
+        assert len(results["flaky"]) == 3
+        assert len(results["steady"]) == 3
+        # The failure is an error-marked sample, not an exception.
+        failed = results["flaky"][1]
+        assert not failed.ok
+        assert failed.value is None
+        assert "vantage point rebooted" in failed.error
+        assert "MeasurementError" in failed.error
+        # Neighbouring iterations of the same task are untouched.
+        assert results["flaky"][0].ok and results["flaky"][2].ok
+        # The other task never noticed.
+        assert all(sample.ok for sample in results["steady"])
+
+    def test_ok_defaults_keep_existing_consumers_working(self, small_internet):
+        campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=2)
+        results = campaign.run({"t": lambda now: 42.0})
+        for sample in results["t"]:
+            assert sample.ok
+            assert sample.error is None
+            assert sample.value == 42.0
+
+    def test_clock_still_advances_after_errors(self, small_internet):
+        def always_broken(now: float) -> float:
+            raise RuntimeError("boom")
+
+        campaign = MeasurementCampaign(small_internet, interval_s=60.0, iterations=3)
+        results = campaign.run({"broken": always_broken})
+        times = [sample.at_time for sample in results["broken"]]
+        assert times == [0.0, 60.0, 120.0]
+        assert all(not sample.ok for sample in results["broken"])
+
+    def test_empty_campaign_still_rejected(self, small_internet):
+        campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=1)
+        with pytest.raises(MeasurementError):
+            campaign.run({})
