@@ -33,6 +33,7 @@ EXPERIMENTS: dict[str, str] = {
     "multicloud": "extension — one cloud provider vs two for the same node budget",
     "selection": "extension — probing vs MPTCP selection regret over a day",
     "control": "extension — runtime control plane: failover under link outages",
+    "chaos": "extension — correlated fault injection: policies under chaos scenarios",
     "engines": "validation — model vs fluid vs packet-level transport engines",
 }
 
@@ -82,6 +83,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true", help="also print the metrics snapshot"
     )
     control.add_argument("--out", help="also dump the result as JSON to this path")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the policies through correlated fault scenarios"
+    )
+    _add_common(chaos)
+    chaos.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to run (repeatable; 'all' or omitted = every scenario)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=3_600.0, help="simulated seconds to run"
+    )
+    chaos.add_argument(
+        "--tick", type=float, default=10.0, help="controller decision tick (seconds)"
+    )
+    chaos.add_argument(
+        "--probe-interval", type=float, default=60.0, help="seconds between path probes"
+    )
+    chaos.add_argument(
+        "--fast", action="store_true",
+        help="short smoke horizon (same windows as fractions, fewer ticks)",
+    )
+    chaos.add_argument(
+        "--list-scenarios", action="store_true", help="list scenario names and exit"
+    )
+    chaos.add_argument("--out", help="also dump the result as JSON to this path")
 
     report = sub.add_parser("report", help="regenerate the whole paper as Markdown")
     _add_common(report)
@@ -141,6 +168,41 @@ def _cmd_control(args: argparse.Namespace) -> int:
         print("controller metrics snapshot:")
         for key, value in result.controller_metrics.items():
             print(f"  {key} = {value}")
+    if args.out:
+        from repro.io import dump_json
+
+        target = dump_json(result, args.out)
+        print(f"[written {target}]")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos_exp import ChaosConfig, run_chaos
+    from repro.faults.scenarios import SCENARIOS
+
+    if args.list_scenarios:
+        for name in SCENARIOS:
+            print(f"  {name}")
+        return 0
+    wanted = args.scenario or []
+    scenarios = () if not wanted or "all" in wanted else tuple(wanted)
+    if args.fast:
+        # Windows sit at horizon fractions and the degradation ladder
+        # scales with the probe cadence, so shrinking both keeps every
+        # scenario's story intact at a quarter of the ticks.
+        duration, tick, interval = 900.0, 5.0, 15.0
+    else:
+        duration, tick, interval = args.duration, args.tick, args.probe_interval
+    config = ChaosConfig(
+        seed=args.seed,
+        scale=args.scale,
+        scenarios=scenarios,
+        duration_s=duration,
+        tick_s=tick,
+        probe_interval_s=interval,
+    )
+    result = run_chaos(config)
+    print(result.render())
     if args.out:
         from repro.io import dump_json
 
@@ -227,6 +289,11 @@ def _run_one(name: str, args: argparse.Namespace):
 
         return run_control(ControlExpConfig(seed=seed, scale=scale))
 
+    if name == "chaos":
+        from repro.experiments.chaos_exp import ChaosConfig, run_chaos
+
+        return run_chaos(ChaosConfig(seed=seed, scale=scale))
+
     if name == "engines":
         from repro.transport.validation import compare_engines, render_comparison
 
@@ -270,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_world(args)
         if args.command == "control":
             return _cmd_control(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "report":
             from repro.report import write_report
 

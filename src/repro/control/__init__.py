@@ -13,6 +13,11 @@ from repro.control.controller import (
     OverlayController,
 )
 from repro.control.decisions import DecisionLog, DecisionRecord
+from repro.control.degradation import (
+    DegradationConfig,
+    DegradationGuard,
+    Quarantine,
+)
 from repro.control.health import (
     HealthConfig,
     HealthTransition,
@@ -37,6 +42,8 @@ __all__ = [
     "Counter",
     "DecisionLog",
     "DecisionRecord",
+    "DegradationConfig",
+    "DegradationGuard",
     "Gauge",
     "GoodputSample",
     "HealthConfig",
@@ -52,5 +59,6 @@ __all__ = [
     "ProbeConfig",
     "ProbeResult",
     "ProbeScheduler",
+    "Quarantine",
     "StaticPolicy",
 ]

@@ -25,10 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.control.decisions import DecisionLog, DecisionRecord
+from repro.control.degradation import DegradationConfig, DegradationGuard
 from repro.control.health import HealthConfig, HealthTransition, PathHealth, PathState
 from repro.control.metrics import MetricsRegistry
-from repro.control.policy import Policy
-from repro.control.probes import ProbeScheduler
+from repro.control.policy import Policy, PolicyDecision
+from repro.control.probes import ProbeResult, ProbeScheduler
 from repro.core.pathset import PathSet, PathType
 from repro.errors import ControlError
 from repro.net.world import Internet
@@ -36,14 +37,24 @@ from repro.net.world import Internet
 #: Buckets for failover switch latency (seconds).
 SWITCH_LATENCY_BUCKETS: tuple[float, ...] = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 900.0)
 
+#: Goodput this far (relative) below the best candidate counts as
+#: wrong-path time — small probe/model wiggles do not.
+WRONG_PATH_TOLERANCE = 0.05
+
 
 @dataclass(frozen=True, slots=True)
 class GoodputSample:
-    """Goodput delivered by the active set at one tick."""
+    """Goodput delivered by the active set at one tick.
+
+    ``best_mbps`` is the oracle: the best any single candidate path
+    could have delivered at that instant (None unless the controller
+    tracks it).
+    """
 
     at_time: float
     goodput_mbps: float
     active: tuple[str, ...]
+    best_mbps: float | None = None
 
 
 @dataclass
@@ -62,6 +73,14 @@ class ControllerReport:
     probes_skipped: int
     failovers: int
     time_in_state: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Seconds the active set delivered materially less than the best
+    #: candidate could have (only tracked with ``track_oracle``).
+    wrong_path_s: float = 0.0
+    probes_lost: int = 0
+    probes_retried: int = 0
+    probes_stale_served: int = 0
+    probes_timed_out: int = 0
+    quarantines: int = 0
 
     @property
     def mean_goodput_mbps(self) -> float:
@@ -105,6 +124,8 @@ class OverlayController:
         metrics: MetricsRegistry | None = None,
         tick_s: float = 5.0,
         mode: PathType = PathType.SPLIT_OVERLAY,
+        degradation: DegradationConfig | None = None,
+        track_oracle: bool = False,
     ) -> None:
         if tick_s <= 0:
             raise ControlError(f"tick must be positive, got {tick_s}")
@@ -119,6 +140,9 @@ class OverlayController:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tick_s = tick_s
         self.mode = mode
+        self.degradation = degradation
+        self.guard = DegradationGuard(degradation) if degradation is not None else None
+        self.track_oracle = track_oracle
         now = internet.now
         config = health_config if health_config is not None else HealthConfig()
         labels = (
@@ -158,14 +182,77 @@ class OverlayController:
                 ).inc()
                 if transition.new is PathState.FAILED and transition.label in self.active:
                     self._active_failed_at = transition.at_time
+                if self.guard is not None:
+                    quarantine = self.guard.note_transition(transition)
+                    if quarantine is not None:
+                        self.metrics.counter(
+                            "quarantines_total", {"path": quarantine.label}
+                        ).inc()
         skipped = self.scheduler.probes_skipped - before_skipped
         if skipped:
             self.metrics.counter("probes_skipped_total").inc(skipped)
         return transitions
 
+    def _degraded_decision(self, now: float) -> PolicyDecision | str | None:
+        """The degradation ladder's verdict at ``now``.
+
+        Returns a :class:`PolicyDecision` to impose (blackout fallback),
+        the string ``"hold"`` to keep the current active set without
+        consulting the policy, or ``None`` to decide normally.
+        """
+        assert self.degradation is not None and self.scheduler is not None
+        cfg = self.degradation
+        freshest = self.scheduler.freshest_age(now)
+        if freshest > cfg.blackout_after_s:
+            self.metrics.counter("degraded_ticks_total", {"mode": "fallback"}).inc()
+            if cfg.fallback_label in self.health:
+                return PolicyDecision(
+                    active=(cfg.fallback_label,),
+                    reason=(
+                        f"probe blackout (no data for {freshest:.0f}s): "
+                        f"safe fallback to {cfg.fallback_label}"
+                    ),
+                )
+            return "hold"
+        if freshest > cfg.stale_after_s:
+            self.metrics.counter("degraded_ticks_total", {"mode": "hold"}).inc()
+            return "hold"
+        return None
+
+    def _policy_views(
+        self, now: float
+    ) -> tuple[dict[str, PathHealth], dict[str, ProbeResult]]:
+        """Health/probe views with stale results and quarantined paths hidden."""
+        probes = dict(self.scheduler.last_result) if self.scheduler is not None else {}
+        health: dict[str, PathHealth] = dict(self.health)
+        if self.degradation is None or self.scheduler is None:
+            return health, probes
+        bound = self.degradation.stale_after_s
+        probes = {
+            label: result
+            for label, result in probes.items()
+            if now - result.at_time <= bound
+        }
+        if self.guard is not None:
+            filtered = {
+                label: machine
+                for label, machine in health.items()
+                if not self.guard.is_quarantined(label, now)
+            }
+            if filtered:  # never hand the policy an empty world
+                health = filtered
+                probes = {label: r for label, r in probes.items() if label in health}
+        return health, probes
+
     def _decide(self, now: float, triggers: list[HealthTransition]) -> None:
-        probes = self.scheduler.last_result if self.scheduler is not None else {}
-        decision = self.policy.decide(now, self.health, probes, self.active)
+        decision: PolicyDecision | str | None = None
+        if self.degradation is not None and self.scheduler is not None:
+            decision = self._degraded_decision(now)
+        if decision == "hold":
+            return
+        if decision is None:
+            health, probes = self._policy_views(now)
+            decision = self.policy.decide(now, health, probes, self.active)
         if decision.active == self.active:
             return
         record = DecisionRecord(
@@ -187,30 +274,31 @@ class OverlayController:
         self.active = decision.active
         self.metrics.gauge("active_paths").set(len(self.active))
 
+    def _label_rate(self, label: str, now: float) -> float:
+        """Deliverable rate of one candidate path (0 when dead)."""
+        if label == "direct":
+            if not self.pathset.direct.is_alive():
+                return 0.0
+            return self.pathset.direct_connection().throughput_at(now)
+        option = next(o for o in self.pathset.options if o.name == label)
+        if not option.concatenated.is_alive():
+            return 0.0
+        if self.mode is PathType.OVERLAY:
+            return self.pathset.overlay_connection(option).throughput_at(now)
+        chain = self.pathset.split_chain(option)
+        return (
+            chain.discrete_bound_at(now)
+            if self.mode is PathType.DISCRETE_OVERLAY
+            else chain.throughput_at(now)
+        )
+
     def _goodput(self, now: float) -> float:
         """Goodput of the active set: best live member (coupled MPTCP)."""
-        best = 0.0
-        for label in self.active:
-            if label == "direct":
-                path = self.pathset.direct
-                if not path.is_alive():
-                    continue
-                rate = self.pathset.direct_connection().throughput_at(now)
-            else:
-                option = next(o for o in self.pathset.options if o.name == label)
-                if not option.concatenated.is_alive():
-                    continue
-                if self.mode is PathType.OVERLAY:
-                    rate = self.pathset.overlay_connection(option).throughput_at(now)
-                else:
-                    chain = self.pathset.split_chain(option)
-                    rate = (
-                        chain.discrete_bound_at(now)
-                        if self.mode is PathType.DISCRETE_OVERLAY
-                        else chain.throughput_at(now)
-                    )
-            best = max(best, rate)
-        return best
+        return max((self._label_rate(label, now) for label in self.active), default=0.0)
+
+    def _best_possible(self, now: float) -> float:
+        """The oracle: best rate any single candidate delivers at ``now``."""
+        return max(self._label_rate(label, now) for label in self.health)
 
     # ------------------------------------------------------------------
     # the loop
@@ -221,6 +309,7 @@ class OverlayController:
             raise ControlError(f"duration must be positive, got {duration_s}")
         samples: list[GoodputSample] = []
         downtime_s = 0.0
+        wrong_path_s = 0.0
         start = self.internet.now
         end = start + duration_s
         now = start
@@ -228,12 +317,18 @@ class OverlayController:
             triggers = self._run_probes(now)
             self._decide(now, triggers)
             goodput = self._goodput(now)
+            best = self._best_possible(now) if self.track_oracle else None
             samples.append(
-                GoodputSample(at_time=now, goodput_mbps=goodput, active=self.active)
+                GoodputSample(
+                    at_time=now, goodput_mbps=goodput, active=self.active, best_mbps=best
+                )
             )
             step = min(self.tick_s, end - now)
             if goodput <= 0.0:
                 downtime_s += step
+            if best is not None and best > 0.0:
+                if goodput < best * (1.0 - WRONG_PATH_TOLERANCE):
+                    wrong_path_s += step
             self.metrics.gauge("goodput_mbps").set(goodput)
             now = self.internet.advance(step)
 
@@ -258,4 +353,12 @@ class OverlayController:
                 label: machine.time_in_state(end)
                 for label, machine in self.health.items()
             },
+            wrong_path_s=wrong_path_s,
+            probes_lost=self.scheduler.probes_lost if self.scheduler else 0,
+            probes_retried=self.scheduler.probes_retried if self.scheduler else 0,
+            probes_stale_served=(
+                self.scheduler.probes_stale_served if self.scheduler else 0
+            ),
+            probes_timed_out=self.scheduler.probes_timed_out if self.scheduler else 0,
+            quarantines=len(self.guard.quarantines) if self.guard is not None else 0,
         )

@@ -13,6 +13,21 @@ one label per overlay node):
   counted, not silently dropped,
 * a probe against a path crossing a failed link times out: ``ok=False``,
   loss 1.0, infinite RTT — exactly what a real prober would report.
+
+Hardening knobs (all off by default, so the PR-1 behaviour is the
+baseline):
+
+* ``timeout_ms`` — a probe whose RTT exceeds the deadline reports a
+  timeout instead of a huge-but-valid RTT,
+* ``max_retries`` / ``retry_backoff_s`` — a failed or lost probe is
+  retried on an exponential backoff (with the scheduler's jitter)
+  instead of waiting a full interval with no data,
+* ``stale_after_s`` — :meth:`ProbeScheduler.fresh_result` serves the
+  last-known-good result only while it is younger than the bound,
+* an optional probe-plane fault model (:class:`~repro.faults.injector.
+  ProbeFaultModel`) can lose a probe, time it out, or serve a stale
+  cached result — the measurement substrate misbehaving independently
+  of the data plane.
 """
 
 from __future__ import annotations
@@ -24,6 +39,7 @@ import numpy as np
 
 from repro.core.pathset import OverlayPathOption, PathSet, PathType
 from repro.errors import ControlError
+from repro.faults.events import ProbeFaultKind
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +75,16 @@ class ProbeConfig:
     budget_bytes_per_interval: int | None = None
     #: Overlay measurement mode used for throughput probes.
     mode: PathType = PathType.SPLIT_OVERLAY
+    #: Probe deadline: a measured RTT above this reports a timeout
+    #: (None = wait forever, the PR-1 behaviour).
+    timeout_ms: float | None = None
+    #: Failed/lost probes are retried this many times before the path
+    #: falls back to its normal interval (0 = no retries).
+    max_retries: int = 0
+    #: First retry delay; doubles per attempt, capped at ``interval_s``.
+    retry_backoff_s: float = 5.0
+    #: Age bound for :meth:`ProbeScheduler.fresh_result` (None = any age).
+    stale_after_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -71,17 +97,32 @@ class ProbeConfig:
             raise ControlError("probe byte budget must be positive when set")
         if self.mode is PathType.DIRECT:
             raise ControlError("probe mode must be an overlay path type")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ControlError(f"probe timeout must be positive, got {self.timeout_ms}")
+        if self.max_retries < 0:
+            raise ControlError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s <= 0:
+            raise ControlError(f"retry backoff must be positive, got {self.retry_backoff_s}")
+        if self.stale_after_s is not None and self.stale_after_s <= 0:
+            raise ControlError(f"stale_after_s must be positive, got {self.stale_after_s}")
 
 
 class ProbeScheduler:
     """Issues probes over a path set on jittered per-path timers."""
 
     def __init__(
-        self, pathset: PathSet, config: ProbeConfig, rng: np.random.Generator
+        self,
+        pathset: PathSet,
+        config: ProbeConfig,
+        rng: np.random.Generator,
+        fault_model=None,
     ) -> None:
         self.pathset = pathset
         self.config = config
         self.rng = rng
+        #: Optional probe-plane fault model: any object exposing
+        #: ``outcome(label, now) -> ProbeFaultKind | None``.
+        self.fault_model = fault_model
         self._options: dict[str, OverlayPathOption] = {
             option.name: option for option in pathset.options
         }
@@ -89,9 +130,16 @@ class ProbeScheduler:
         #: All paths are due immediately so the controller starts informed.
         self._next_due: dict[str, float] = {label: 0.0 for label in self.labels}
         self.last_result: dict[str, ProbeResult] = {}
+        #: Last *successful* result per path (last-known-good cache).
+        self.last_good: dict[str, ProbeResult] = {}
+        self._attempts: dict[str, int] = {label: 0 for label in self.labels}
         self.total_bytes = 0
         self.probes_sent = 0
         self.probes_skipped = 0
+        self.probes_lost = 0
+        self.probes_retried = 0
+        self.probes_stale_served = 0
+        self.probes_timed_out = 0
         self._window_start = 0.0
         self._window_bytes = 0
 
@@ -102,10 +150,35 @@ class ProbeScheduler:
         """Labels whose probe timer has expired at ``now`` (sorted)."""
         return [label for label in self.labels if self._next_due[label] <= now]
 
-    def _reschedule(self, label: str, now: float) -> None:
+    def _jitter_factor(self) -> float:
         jitter = self.config.jitter_frac
-        factor = 1.0 + float(self.rng.uniform(-jitter, jitter)) if jitter else 1.0
-        self._next_due[label] = now + self.config.interval_s * factor
+        return 1.0 + float(self.rng.uniform(-jitter, jitter)) if jitter else 1.0
+
+    def _reschedule(self, label: str, now: float) -> None:
+        self._next_due[label] = now + self.config.interval_s * self._jitter_factor()
+
+    def _schedule_next(self, label: str, now: float, ok: bool) -> None:
+        """Normal interval after success; bounded backoff after failure.
+
+        A failed (or lost) probe retries after ``retry_backoff_s * 2^n``
+        (jittered, capped at the probe interval) up to ``max_retries``
+        times, then gives the path its full interval back — bounded
+        persistence, not a retry storm.
+        """
+        if ok or self.config.max_retries <= 0:
+            self._attempts[label] = 0
+            self._reschedule(label, now)
+            return
+        attempt = self._attempts[label]
+        if attempt >= self.config.max_retries:
+            self._attempts[label] = 0
+            self._reschedule(label, now)
+            return
+        self._attempts[label] = attempt + 1
+        self.probes_retried += 1
+        backoff = self.config.retry_backoff_s * (2.0 ** attempt)
+        delay = min(backoff * self._jitter_factor(), self.config.interval_s)
+        self._next_due[label] = now + delay
 
     def _budget_allows(self, now: float, cost: int) -> bool:
         budget = self.config.budget_bytes_per_interval
@@ -129,10 +202,11 @@ class ProbeScheduler:
             raise ControlError(f"unknown probe target {label!r}; have {list(self.labels)}")
         path = self.pathset.direct if label == "direct" else self._options[label].concatenated
         alive = path.is_alive()
+        fault = self.fault_model.outcome(label, now) if self.fault_model else None
         cost = self.config.ping_count * self.config.ping_bytes
-        if alive:
+        if alive and fault is not ProbeFaultKind.LOST:
             cost *= 2  # echo replies come back
-            if self.config.measure_throughput:
+            if self.config.measure_throughput and fault is not ProbeFaultKind.STALE:
                 cost += self.config.throughput_probe_bytes
         if not self._budget_allows(now, cost):
             self.probes_skipped += 1
@@ -141,33 +215,53 @@ class ProbeScheduler:
         self._window_bytes += cost
         self.total_bytes += cost
         self.probes_sent += 1
-        self._reschedule(label, now)
 
-        if not alive:
-            result = ProbeResult(
-                label=label,
-                at_time=now,
-                ok=False,
-                rtt_ms=math.inf,
-                loss=1.0,
-                throughput_mbps=0.0 if self.config.measure_throughput else None,
-                bytes_cost=cost,
-            )
-        else:
+        if fault is ProbeFaultKind.LOST:
+            # The probe (or its reply) vanished: bytes spent, no data.
+            self.probes_lost += 1
+            self._schedule_next(label, now, ok=False)
+            return None
+        if fault is ProbeFaultKind.STALE and label in self.last_result:
+            # The measurement service answered from cache: the previous
+            # result is served again, original timestamp and all.
+            self.probes_stale_served += 1
+            self._schedule_next(label, now, ok=True)
+            return self.last_result[label]
+
+        timed_out = not alive
+        rtt_ms = math.inf
+        loss = 1.0
+        throughput: float | None = 0.0 if self.config.measure_throughput else None
+        if alive:
             metrics = path.metrics(now)
-            throughput = (
-                self._throughput(label, now) if self.config.measure_throughput else None
-            )
-            result = ProbeResult(
-                label=label,
-                at_time=now,
-                ok=True,
-                rtt_ms=metrics.rtt_ms,
-                loss=metrics.loss,
-                throughput_mbps=throughput,
-                bytes_cost=cost,
-            )
+            rtt_ms, loss = metrics.rtt_ms, metrics.loss
+            deadline = self.config.timeout_ms
+            if fault is ProbeFaultKind.TIMEOUT or (
+                deadline is not None and rtt_ms > deadline
+            ):
+                timed_out = True
+                rtt_ms, loss = math.inf, 1.0
+            else:
+                throughput = (
+                    self._throughput(label, now)
+                    if self.config.measure_throughput
+                    else None
+                )
+        if timed_out:
+            self.probes_timed_out += 1
+        result = ProbeResult(
+            label=label,
+            at_time=now,
+            ok=not timed_out,
+            rtt_ms=rtt_ms,
+            loss=loss,
+            throughput_mbps=throughput,
+            bytes_cost=cost,
+        )
+        self._schedule_next(label, now, ok=result.ok)
         self.last_result[label] = result
+        if result.ok:
+            self.last_good[label] = result
         return result
 
     def _throughput(self, label: str, now: float) -> float:
@@ -190,3 +284,33 @@ class ProbeScheduler:
             if result is not None:
                 results.append(result)
         return results
+
+    # ------------------------------------------------------------------
+    # last-known-good cache
+    # ------------------------------------------------------------------
+    def result_age(self, label: str, now: float) -> float:
+        """Seconds since the last result for ``label`` (inf when none).
+
+        Stale-served results keep their original timestamp, so a probe
+        plane answering from cache ages out just like a silent one.
+        """
+        result = self.last_result.get(label)
+        return math.inf if result is None else now - result.at_time
+
+    def freshest_age(self, now: float) -> float:
+        """Age of the newest result across all paths (inf when none).
+
+        Above the controller's blackout bound, *nothing* the scheduler
+        holds is recent enough to act on.
+        """
+        return min((self.result_age(label, now) for label in self.labels), default=math.inf)
+
+    def fresh_result(self, label: str, now: float) -> ProbeResult | None:
+        """Last-known-good result, only while within the staleness bound."""
+        result = self.last_good.get(label)
+        if result is None:
+            return None
+        bound = self.config.stale_after_s
+        if bound is not None and now - result.at_time > bound:
+            return None
+        return result

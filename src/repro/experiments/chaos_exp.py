@@ -1,0 +1,304 @@
+"""Extension — chaos study: policies under correlated faults.
+
+The robustness question behind the deployment story (Sec. I): the
+paper's overlay wins assume the control plane can *see* the network.
+What happens when faults are correlated — a whole transit AS dies, a
+route flaps, a path goes gray, the probe plane itself drops or caches
+results?
+
+Every named :mod:`~repro.faults.scenarios` scenario is replayed under
+the four PR-1 policies, twice each:
+
+* **baseline** — the PR-1 controller configuration: plain probes, no
+  timeout, no retries, no degradation awareness,
+* **hardened** — probe timeouts with bounded backoff retries, a
+  last-known-good cache with a staleness bound, and the degradation
+  ladder (hold on stale data, fall back to direct on probe blackout,
+  quarantine flapping paths).
+
+Per run the study reports downtime, decision churn (failovers),
+wrong-path time against an omniscient oracle, and probe overhead.
+Deterministic: a fixed seed replays identical chaos, so two runs
+produce identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.control.controller import ControllerReport, OverlayController
+from repro.control.degradation import DegradationConfig
+from repro.control.health import HealthConfig
+from repro.control.metrics import MetricsRegistry
+from repro.control.policy import (
+    BestPathPolicy,
+    C45RulePolicy,
+    MptcpSubflowPolicy,
+    Policy,
+    StaticPolicy,
+)
+from repro.control.probes import ProbeConfig, ProbeScheduler
+from repro.core.pathset import PathSet
+from repro.errors import ExperimentError
+from repro.experiments.scenario import World, build_world
+from repro.faults.injector import FaultInjector, ProbeFaultModel
+from repro.faults.scenarios import SCENARIOS, ChaosScenario, build_scenario
+
+#: The two controller configurations every scenario is replayed under.
+ARMS: tuple[str, ...] = ("baseline", "hardened")
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Knobs for the chaos study."""
+
+    seed: int = 7
+    scale: str = "small"
+    #: Scenario names to run (empty = every registered scenario).
+    scenarios: tuple[str, ...] = ()
+    duration_s: float = 3_600.0
+    tick_s: float = 10.0
+    probe_interval_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.tick_s <= 0 or self.probe_interval_s <= 0:
+            raise ExperimentError("durations and intervals must be positive")
+        unknown = [name for name in self.scenarios if name not in SCENARIOS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown chaos scenarios {unknown}; choose from {sorted(SCENARIOS)}"
+            )
+
+    @property
+    def scenario_names(self) -> tuple[str, ...]:
+        """The scenarios this config actually runs."""
+        return self.scenarios if self.scenarios else tuple(SCENARIOS)
+
+    def hardened_probes(self) -> ProbeConfig:
+        """The hardened arm's probe configuration."""
+        return ProbeConfig(
+            interval_s=self.probe_interval_s,
+            timeout_ms=2_000.0,
+            max_retries=2,
+            retry_backoff_s=max(self.probe_interval_s / 6.0, 1.0),
+            stale_after_s=2.0 * self.probe_interval_s,
+        )
+
+    def degradation(self) -> DegradationConfig:
+        """The hardened arm's degradation ladder, scaled to the cadence."""
+        return DegradationConfig(
+            stale_after_s=2.5 * self.probe_interval_s,
+            blackout_after_s=5.0 * self.probe_interval_s,
+            flap_threshold=3,
+            flap_window_s=self.duration_s / 2.0,
+            quarantine_s=self.duration_s / 3.0,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosOutcome:
+    """Headline numbers for one (scenario, strategy, arm) run."""
+
+    scenario: str
+    strategy: str
+    arm: str
+    downtime_s: float
+    wrong_path_s: float
+    churn: int  # decision changes after the first activation
+    mean_goodput_mbps: float
+    probe_bytes: int
+    probes_sent: int
+    probes_lost: int
+    probes_retried: int
+    probes_stale_served: int
+    probes_timed_out: int
+    quarantines: int
+
+
+@dataclass
+class ChaosResult:
+    """All scenarios' outcomes plus the fault stories that produced them."""
+
+    config: ChaosConfig
+    pair: tuple[str, ...]
+    descriptions: dict[str, str]
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    def outcome(self, scenario: str, strategy: str, arm: str) -> ChaosOutcome:
+        """Look up one run's outcome."""
+        for candidate in self.outcomes:
+            if (
+                candidate.scenario == scenario
+                and candidate.strategy == strategy
+                and candidate.arm == arm
+            ):
+                return candidate
+        raise ExperimentError(f"no outcome for {scenario}/{strategy}/{arm}")
+
+    def render(self) -> str:
+        """One table per scenario: baseline vs hardened for each policy."""
+        sections = [
+            f"chaos study: {self.pair[0]} -> {self.pair[1]}, "
+            f"{self.config.duration_s:.0f} s horizon, seed {self.config.seed}"
+        ]
+        for scenario in self.config.scenario_names:
+            rows = []
+            for outcome in self.outcomes:
+                if outcome.scenario != scenario:
+                    continue
+                rows.append(
+                    (
+                        outcome.strategy,
+                        outcome.arm,
+                        f"{outcome.downtime_s:.0f} s",
+                        f"{outcome.wrong_path_s:.0f} s",
+                        f"{outcome.churn}",
+                        f"{outcome.mean_goodput_mbps:.2f}",
+                        f"{outcome.probe_bytes}",
+                        f"{outcome.quarantines}",
+                    )
+                )
+            table = format_table(
+                [
+                    "strategy",
+                    "arm",
+                    "downtime",
+                    "wrong-path",
+                    "churn",
+                    "goodput Mbps",
+                    "probe bytes",
+                    "quarantines",
+                ],
+                rows,
+            )
+            sections.append(f"--- {self.descriptions[scenario]}\n{table}")
+        return "\n\n".join(sections)
+
+
+#: Strategy name -> (policy factory, needs a probe scheduler).
+STRATEGIES: tuple[tuple[str, type[Policy] | None], ...] = (
+    ("static-direct", None),
+    ("controller-best", BestPathPolicy),
+    ("controller-c45", C45RulePolicy),
+    ("mptcp-subflows", MptcpSubflowPolicy),
+)
+
+
+def _policy_for(strategy: str) -> tuple[Policy, bool]:
+    for name, factory in STRATEGIES:
+        if name == strategy:
+            if factory is None:
+                return StaticPolicy("direct"), False
+            return factory(), True
+    raise ExperimentError(f"unknown strategy {strategy!r}")
+
+
+def _pick_pathset(world: World, cronet, config: ChaosConfig) -> PathSet:
+    """First pair every requested scenario can target.
+
+    The builders need isolatable links (direct-only, overlay-only) and
+    an intermediate AS; pairs too entangled for any requested scenario
+    are skipped.
+    """
+    for server in world.server_names:
+        for client in world.client_names():
+            pathset = cronet.path_set(server, client)
+            try:
+                for name in config.scenario_names:
+                    build_scenario(name, world.internet, pathset, config.duration_s)
+            except ExperimentError:
+                continue
+            return pathset
+    raise ExperimentError("no pair admits every requested chaos scenario")
+
+
+def _run_one(
+    world: World,
+    pathset: PathSet,
+    scenario: ChaosScenario,
+    strategy: str,
+    arm: str,
+    config: ChaosConfig,
+) -> ChaosOutcome:
+    """One controller run from t=0 against an installed scenario."""
+    world.internet.set_time(0.0)
+    policy, probed = _policy_for(strategy)
+    hardened = arm == "hardened"
+    scheduler = None
+    if probed:
+        probe_config = (
+            config.hardened_probes()
+            if hardened
+            else ProbeConfig(interval_s=config.probe_interval_s)
+        )
+        # Stream names are unique per run: the memoized stream would
+        # otherwise carry jitter state from one run into the next.
+        stream = f"chaos.{scenario.name}.{arm}.{strategy}"
+        fault_model = (
+            ProbeFaultModel(
+                scenario.probe_events, world.streams.stream(f"{stream}.probe-faults")
+            )
+            if scenario.probe_events
+            else None
+        )
+        scheduler = ProbeScheduler(
+            pathset, probe_config, world.streams.stream(stream), fault_model
+        )
+    controller = OverlayController(
+        internet=world.internet,
+        pathset=pathset,
+        policy=policy,
+        scheduler=scheduler,
+        health_config=HealthConfig(recovery_hold_s=2 * config.probe_interval_s),
+        metrics=MetricsRegistry(),
+        tick_s=config.tick_s,
+        degradation=config.degradation() if hardened and probed else None,
+        track_oracle=True,
+    )
+    report: ControllerReport = controller.run(config.duration_s)
+    return ChaosOutcome(
+        scenario=scenario.name,
+        strategy=strategy,
+        arm=arm,
+        downtime_s=report.downtime_s,
+        wrong_path_s=report.wrong_path_s,
+        churn=report.failovers,
+        mean_goodput_mbps=report.mean_goodput_mbps,
+        probe_bytes=report.probe_bytes,
+        probes_sent=report.probes_sent,
+        probes_lost=report.probes_lost,
+        probes_retried=report.probes_retried,
+        probes_stale_served=report.probes_stale_served,
+        probes_timed_out=report.probes_timed_out,
+        quarantines=report.quarantines,
+    )
+
+
+def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
+    """Run the chaos study; deterministic for a fixed seed."""
+    world = build_world(seed=config.seed, scale=config.scale)
+    cronet = world.cronet()
+    pathset = _pick_pathset(world, cronet, config)
+    result = ChaosResult(
+        config=config,
+        pair=(pathset.src_name, pathset.dst_name),
+        descriptions={},
+    )
+    for name in config.scenario_names:
+        scenario = build_scenario(name, world.internet, pathset, config.duration_s)
+        result.descriptions[name] = scenario.describe()
+        injector = FaultInjector(world.internet)
+        for event in scenario.events:
+            injector.add(event)
+        injector.install()
+        try:
+            for arm in ARMS:
+                for strategy, _ in STRATEGIES:
+                    result.outcomes.append(
+                        _run_one(world, pathset, scenario, strategy, arm, config)
+                    )
+        finally:
+            injector.uninstall()
+            world.internet.set_time(0.0)
+    return result

@@ -1,0 +1,46 @@
+"""Correlated fault injection: deterministic chaos for the overlay.
+
+Generalises the single-link :class:`~repro.net.failures.FailureSchedule`
+to the correlated scenarios the paper blames for the largest overlay
+wins (Sec. IV): AS-level outages, BGP route flaps, gray failures,
+congestion storms, and faults in the probe plane itself.  Every event
+is a pure function of simulated time, so a fixed seed replays the same
+chaos bit-for-bit.
+"""
+
+from repro.faults.events import (
+    AsOutage,
+    CongestionStorm,
+    FaultEvent,
+    GrayFailure,
+    LinkEffect,
+    LinkOutage,
+    ProbeFaultEvent,
+    ProbeFaultKind,
+    RouteFlap,
+    Window,
+)
+from repro.faults.injector import FaultInjector, ProbeFaultModel
+from repro.faults.scenarios import (
+    SCENARIOS,
+    ChaosScenario,
+    build_scenario,
+)
+
+__all__ = [
+    "AsOutage",
+    "ChaosScenario",
+    "CongestionStorm",
+    "FaultEvent",
+    "FaultInjector",
+    "GrayFailure",
+    "LinkEffect",
+    "LinkOutage",
+    "ProbeFaultEvent",
+    "ProbeFaultKind",
+    "ProbeFaultModel",
+    "RouteFlap",
+    "SCENARIOS",
+    "Window",
+    "build_scenario",
+]

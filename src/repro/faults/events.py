@@ -1,0 +1,310 @@
+"""Fault-event taxonomy: what can go wrong, as pure functions of time.
+
+The paper's biggest overlay wins come from transient events at
+intermediate ISPs (Sec. IV); surviving them is half the pitch for MPTCP
+path selection (Sec. VI-A).  This module generalises the single-link
+on/off schedule in :mod:`repro.net.failures` to the correlated
+scenarios a real overlay meets:
+
+* :class:`LinkOutage` — one or more links hard-down over a window,
+* :class:`AsOutage` — every link touching an AS down together (the
+  "an ISP had a bad day" event),
+* :class:`RouteFlap` — periodic withdraw/re-announce cycles inside a
+  window; each edge also forces re-resolution of cached routes,
+* :class:`GrayFailure` — the link stays "up" but silently drops and/or
+  delays a fraction of traffic,
+* :class:`CongestionStorm` — a background-utilization surge across a
+  set of links,
+* probe-plane faults (:class:`ProbeBlackout`, :class:`ProbeLossBurst`,
+  :class:`StaleProbeWindow`, :class:`ProbeTimeoutBurst`) — the
+  *measurement* substrate lies or goes quiet while the data plane keeps
+  running.
+
+Every event is a pure function of simulated time: given ``t`` it
+reports the exact effect it wants, so rewinding the clock and replaying
+(the determinism contract every experiment relies on) reproduces the
+same fault state bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class LinkEffect:
+    """The impairment one or more fault events want on one link."""
+
+    failed: bool = False
+    extra_loss: float = 0.0
+    extra_delay_ms: float = 0.0
+    util_surge: float = 0.0
+
+    def merge(self, other: "LinkEffect") -> "LinkEffect":
+        """Compose two effects: outages dominate, impairments stack."""
+        return LinkEffect(
+            failed=self.failed or other.failed,
+            # Independent drop processes: survival probabilities multiply.
+            extra_loss=1.0 - (1.0 - self.extra_loss) * (1.0 - other.extra_loss),
+            extra_delay_ms=self.extra_delay_ms + other.extra_delay_ms,
+            util_surge=min(self.util_surge + other.util_surge, 1.0),
+        )
+
+
+NO_EFFECT = LinkEffect()
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """A half-open time interval ``[start_s, start_s + duration_s)``."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ConfigError(
+                f"fault window invalid: start={self.start_s} duration={self.duration_s}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        """Absolute time the fault clears."""
+        return self.start_s + self.duration_s
+
+    def covers(self, t: float) -> bool:
+        """True while the window contains time ``t``."""
+        return self.start_s <= t < self.end_s
+
+
+class FaultEvent(abc.ABC):
+    """One data-plane fault affecting a fixed set of links."""
+
+    #: Short scenario-log tag, e.g. ``as-outage``.
+    kind: str = "fault"
+
+    def __init__(self, link_ids: tuple[int, ...], window: Window) -> None:
+        if not link_ids:
+            raise ConfigError(f"{self.kind} event needs at least one link")
+        if len(set(link_ids)) != len(link_ids):
+            raise ConfigError(f"{self.kind} event has duplicate links {link_ids}")
+        self.link_ids = tuple(sorted(link_ids))
+        self.window = window
+
+    @abc.abstractmethod
+    def effect_at(self, t: float) -> LinkEffect:
+        """The effect every affected link carries at time ``t``."""
+
+    def phase_at(self, t: float) -> int:
+        """Integer fingerprint of the event's state at ``t``.
+
+        The injector re-applies effects only at phase edges for
+        stateless events (0 = idle, 1 = active); flapping events return
+        a per-cycle fingerprint so every withdraw/re-announce edge is
+        visible.
+        """
+        return 1 if self.window.covers(t) else 0
+
+    def describe(self) -> str:
+        """One log line: kind, window, affected links."""
+        links = ",".join(str(link_id) for link_id in self.link_ids)
+        return (
+            f"{self.kind} [{self.window.start_s:g}, {self.window.end_s:g})s "
+            f"links={links}"
+        )
+
+
+class LinkOutage(FaultEvent):
+    """Hard outage of a set of links over one window."""
+
+    kind = "link-outage"
+
+    def effect_at(self, t: float) -> LinkEffect:
+        if not self.window.covers(t):
+            return NO_EFFECT
+        return LinkEffect(failed=True)
+
+
+class AsOutage(LinkOutage):
+    """All links touching one AS down together — a correlated outage."""
+
+    kind = "as-outage"
+
+    def __init__(self, asn: int, link_ids: tuple[int, ...], window: Window) -> None:
+        super().__init__(link_ids, window)
+        self.asn = asn
+
+    @classmethod
+    def for_as(cls, internet, asn: int, window: Window) -> "AsOutage":
+        """Collect every link with an endpoint router inside ``asn``."""
+        router_ids = {router.router_id for router in internet.routers.of_as(asn)}
+        if not router_ids:
+            raise ConfigError(f"AS{asn} has no routers to fail")
+        link_ids = tuple(
+            link.link_id
+            for link in internet.links_by_id.values()
+            if link.router_a in router_ids or link.router_b in router_ids
+        )
+        return cls(asn=asn, link_ids=link_ids, window=window)
+
+    def describe(self) -> str:
+        return f"{self.kind} AS{self.asn} " + super().describe().removeprefix(f"{self.kind} ")
+
+
+class RouteFlap(FaultEvent):
+    """Withdraw/re-announce cycles: the link blinks inside the window.
+
+    Each ``period_s`` starts with ``duty`` of downtime (withdrawn) and
+    ends announced.  Every edge is a BGP event, so the injector drops
+    the Internet's path cache at each phase change — fresh resolutions
+    must not serve pre-flap routes.
+    """
+
+    kind = "route-flap"
+
+    def __init__(
+        self,
+        link_ids: tuple[int, ...],
+        window: Window,
+        period_s: float,
+        duty: float = 0.5,
+    ) -> None:
+        super().__init__(link_ids, window)
+        if period_s <= 0 or period_s > window.duration_s:
+            raise ConfigError(
+                f"flap period must be in (0, {window.duration_s}], got {period_s}"
+            )
+        if not 0.0 < duty < 1.0:
+            raise ConfigError(f"flap duty must be in (0, 1), got {duty}")
+        self.period_s = period_s
+        self.duty = duty
+
+    def _withdrawn(self, t: float) -> bool:
+        offset = (t - self.window.start_s) % self.period_s
+        return offset < self.period_s * self.duty
+
+    def effect_at(self, t: float) -> LinkEffect:
+        if not self.window.covers(t) or not self._withdrawn(t):
+            return NO_EFFECT
+        return LinkEffect(failed=True)
+
+    def phase_at(self, t: float) -> int:
+        if not self.window.covers(t):
+            return 0
+        cycle = int((t - self.window.start_s) // self.period_s)
+        return 1 + 2 * cycle + (0 if self._withdrawn(t) else 1)
+
+
+class GrayFailure(FaultEvent):
+    """The link reports up but silently drops/delays traffic."""
+
+    kind = "gray-failure"
+
+    def __init__(
+        self,
+        link_ids: tuple[int, ...],
+        window: Window,
+        drop_fraction: float,
+        extra_delay_ms: float = 0.0,
+    ) -> None:
+        super().__init__(link_ids, window)
+        if not 0.0 < drop_fraction <= 1.0:
+            raise ConfigError(f"drop fraction must be in (0, 1], got {drop_fraction}")
+        if extra_delay_ms < 0:
+            raise ConfigError(f"extra delay must be >= 0, got {extra_delay_ms}")
+        self.drop_fraction = drop_fraction
+        self.extra_delay_ms = extra_delay_ms
+
+    def effect_at(self, t: float) -> LinkEffect:
+        if not self.window.covers(t):
+            return NO_EFFECT
+        return LinkEffect(
+            extra_loss=self.drop_fraction, extra_delay_ms=self.extra_delay_ms
+        )
+
+
+class CongestionStorm(FaultEvent):
+    """Background-utilization surge across a set of links."""
+
+    kind = "congestion-storm"
+
+    def __init__(
+        self, link_ids: tuple[int, ...], window: Window, surge: float
+    ) -> None:
+        super().__init__(link_ids, window)
+        if not 0.0 < surge <= 1.0:
+            raise ConfigError(f"storm surge must be in (0, 1], got {surge}")
+        self.surge = surge
+
+    def effect_at(self, t: float) -> LinkEffect:
+        if not self.window.covers(t):
+            return NO_EFFECT
+        return LinkEffect(util_surge=self.surge)
+
+
+# ----------------------------------------------------------------------
+# probe-plane faults
+# ----------------------------------------------------------------------
+class ProbeFaultKind(enum.Enum):
+    """How the probe plane misbehaves for one probe attempt."""
+
+    #: The probe (or its reply) never arrives: no result at all.
+    LOST = "lost"
+    #: The probe exceeds its deadline: an ok=False timeout result.
+    TIMEOUT = "timeout"
+    #: The measurement service answers from cache: the *previous* result
+    #: is served again, original timestamp and all.
+    STALE = "stale"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeFaultEvent:
+    """One probe-plane fault over a window.
+
+    ``probability`` < 1 makes the fault intermittent; each affected
+    probe attempt draws independently from the injector's seeded stream.
+    ``labels`` restricts the fault to specific candidate paths (empty =
+    every path).
+    """
+
+    window: Window
+    fault: ProbeFaultKind
+    probability: float = 1.0
+    labels: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigError(f"fault probability must be in (0, 1], got {self.probability}")
+
+    def applies(self, label: str, t: float, rng: np.random.Generator) -> bool:
+        """Does this fault strike the probe of ``label`` at ``t``?"""
+        if not self.window.covers(t):
+            return False
+        if self.labels and label not in self.labels:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return bool(rng.random() < self.probability)
+
+    def describe(self) -> str:
+        """One log line: kind, window, probability, affected labels."""
+        scope = ",".join(self.labels) if self.labels else "all paths"
+        prob = "" if self.probability >= 1.0 else f" p={self.probability:g}"
+        return (
+            f"probe-{self.fault.value} [{self.window.start_s:g}, "
+            f"{self.window.end_s:g})s{prob} on {scope}"
+        )
+
+
+def window_for(start_s: float, duration_s: float) -> Window:
+    """Convenience constructor mirroring ``FailureSchedule.schedule``."""
+    if not math.isfinite(start_s) or not math.isfinite(duration_s):
+        raise ConfigError("fault windows must be finite")
+    return Window(start_s=start_s, duration_s=duration_s)

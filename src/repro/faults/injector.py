@@ -1,0 +1,165 @@
+"""Deterministic fault injection against a live :class:`Internet`.
+
+:class:`FaultInjector` owns a set of :class:`~repro.faults.events.
+FaultEvent`\\ s and keeps every affected link's state consistent with
+the *union* of active events as the clock moves.  It installs itself as
+an Internet clock hook, running after the legacy
+:class:`~repro.net.failures.FailureSchedule` each tick, and never
+restores a link the legacy schedule still holds down — the overlap bug
+a naive per-event restore would hit.
+
+Determinism contract: link effects are pure functions of time, so
+rewinding the clock (``set_time(0.0)``) and replaying reproduces the
+exact fault state sequence.  Probe-plane faults draw from a named
+seeded stream; runs that issue the same probe sequence see the same
+faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.events import (
+    FaultEvent,
+    LinkEffect,
+    NO_EFFECT,
+    ProbeFaultEvent,
+    ProbeFaultKind,
+    RouteFlap,
+)
+from repro.net.world import Internet
+
+
+class FaultInjector:
+    """Applies correlated fault events to an Internet's links."""
+
+    def __init__(self, internet: Internet) -> None:
+        self.internet = internet
+        self.events: list[FaultEvent] = []
+        self._installed = False
+        #: Last seen phase fingerprint of every route-flap event, used
+        #: to detect withdraw/re-announce edges between clock moves.
+        self._flap_phases: dict[int, int] = {}
+        self.route_recomputations = 0
+
+    def add(self, event: FaultEvent) -> FaultEvent:
+        """Register one event; every link it names must exist."""
+        unknown = [
+            link_id
+            for link_id in event.link_ids
+            if link_id not in self.internet.links_by_id
+        ]
+        if unknown:
+            raise ConfigError(f"{event.kind} event names unknown links {unknown}")
+        self.events.append(event)
+        if isinstance(event, RouteFlap):
+            self._flap_phases[id(event)] = event.phase_at(self.internet.now)
+        return event
+
+    def install(self) -> "FaultInjector":
+        """Hook into the Internet clock and apply the current instant."""
+        if not self._installed:
+            self.internet.clock_hooks.append(self.apply)
+            self._installed = True
+        self.apply(self.internet.now)
+        return self
+
+    def uninstall(self) -> None:
+        """Detach from the clock, clearing every injected effect."""
+        if self._installed:
+            self.internet.clock_hooks.remove(self.apply)
+            self._installed = False
+        for link_id in self.managed_links():
+            link = self.internet.links_by_id[link_id]
+            link.clear_impairment()
+            if link.failed and not self.internet.failures.down_at(
+                link_id, self.internet.now
+            ):
+                link.restore()
+
+    def managed_links(self) -> set[int]:
+        """Union of every event's affected link ids."""
+        managed: set[int] = set()
+        for event in self.events:
+            managed.update(event.link_ids)
+        return managed
+
+    def effects_at(self, t: float) -> dict[int, LinkEffect]:
+        """Composed per-link effect of every active event at ``t``."""
+        effects: dict[int, LinkEffect] = {}
+        for event in self.events:
+            effect = event.effect_at(t)
+            if effect is NO_EFFECT:
+                continue
+            for link_id in event.link_ids:
+                current = effects.get(link_id)
+                effects[link_id] = effect if current is None else current.merge(effect)
+        return effects
+
+    def apply(self, t: float) -> None:
+        """Reconcile every managed link with the fault state at ``t``."""
+        effects = self.effects_at(t)
+        for link_id in self.managed_links():
+            link = self.internet.links_by_id[link_id]
+            effect = effects.get(link_id, NO_EFFECT)
+            # Liveness is the union across *both* injectors: never flip
+            # a link up while a legacy-schedule window still covers t.
+            want_down = effect.failed or self.internet.failures.down_at(link_id, t)
+            if want_down and not link.failed:
+                link.fail()
+            elif not want_down and link.failed:
+                link.restore()
+            link.impair(
+                extra_loss=effect.extra_loss,
+                extra_delay_ms=effect.extra_delay_ms,
+                util_surge=effect.util_surge,
+            )
+        self._check_flap_edges(t)
+
+    def _check_flap_edges(self, t: float) -> None:
+        """Invalidate cached routes on every withdraw/re-announce edge."""
+        edged = False
+        for event in self.events:
+            if not isinstance(event, RouteFlap):
+                continue
+            phase = event.phase_at(t)
+            if self._flap_phases.get(id(event)) != phase:
+                self._flap_phases[id(event)] = phase
+                edged = True
+        if edged:
+            self.internet.invalidate_path_cache()
+            self.route_recomputations += 1
+
+    def describe(self) -> str:
+        """One line per registered event."""
+        return "\n".join(event.describe() for event in self.events)
+
+
+class ProbeFaultModel:
+    """Decides, per probe attempt, whether the probe plane misbehaves.
+
+    The hardened :class:`~repro.control.probes.ProbeScheduler` consults
+    this before measuring: the first registered event that strikes
+    wins.  Draws come from the caller-supplied seeded generator, so the
+    same probe sequence always sees the same faults.
+    """
+
+    def __init__(
+        self, events: list[ProbeFaultEvent], rng: np.random.Generator
+    ) -> None:
+        self.events = list(events)
+        self.rng = rng
+        self.struck: dict[str, int] = {kind.value: 0 for kind in ProbeFaultKind}
+
+    def outcome(self, label: str, now: float) -> ProbeFaultKind | None:
+        """The fault striking ``label``'s probe at ``now``, if any."""
+        for event in self.events:
+            if event.applies(label, now, self.rng):
+                self.struck[event.fault.value] += 1
+                return event.fault
+        return None
+
+    def describe(self) -> str:
+        """One line per registered probe-plane event."""
+        return "\n".join(event.describe() for event in self.events)

@@ -1,0 +1,310 @@
+"""Named chaos scenarios: curated correlated-fault stories.
+
+Each scenario targets one sender/receiver :class:`~repro.core.pathset.
+PathSet` and composes data-plane events (outages, flaps, gray
+failures, storms) with probe-plane faults into a reproducible story
+the chaos experiment replays under every policy.  Windows are placed
+at fixed fractions of the experiment horizon so the same scenario
+scales from smoke runs to long studies.
+
+The two *degradation showcases* are built so the hardened controller
+has something to win:
+
+* ``probe-blackout`` / ``stale-probes`` — the direct path is gray (slow
+  but alive), the controller therefore rides an overlay, then that
+  overlay dies exactly while the probe plane goes quiet (or serves
+  cached results).  A PR-1 controller keeps trusting its rosy last
+  probe and sits on the corpse; a degradation-aware one notices its
+  data is stale and falls back to the gray-but-alive direct path.
+* ``flapping-overlay`` — the preferred overlay blinks on a BGP flap
+  cycle.  A PR-1 controller chases it through every cycle; quarantine
+  parks it after a few failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pathset import PathSet, PathType
+from repro.errors import ExperimentError
+from repro.faults.events import (
+    AsOutage,
+    CongestionStorm,
+    FaultEvent,
+    GrayFailure,
+    LinkOutage,
+    ProbeFaultEvent,
+    ProbeFaultKind,
+    RouteFlap,
+    Window,
+)
+from repro.net.links import LinkClass
+from repro.net.path import RouterPath
+from repro.net.world import Internet
+
+
+@dataclass
+class ChaosScenario:
+    """One named fault story against one path set."""
+
+    name: str
+    description: str
+    events: list[FaultEvent] = field(default_factory=list)
+    probe_events: list[ProbeFaultEvent] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Header line plus one line per event."""
+        lines = [f"{self.name}: {self.description}"]
+        lines.extend(f"  {event.describe()}" for event in self.events)
+        lines.extend(f"  {event.describe()}" for event in self.probe_events)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# target-picking helpers
+# ----------------------------------------------------------------------
+def unique_middle_link(target: RouterPath, others: list[RouterPath]) -> int:
+    """A middle link ``target`` crosses but none of ``others`` does."""
+    shared = {link.link_id for other in others for link in other.links}
+    unique = [link for link in target.links if link.link_id not in shared]
+    if not unique:
+        raise ExperimentError(
+            f"path {target.src_name}->{target.dst_name} shares every link "
+            f"with an alternative; no isolatable fault target exists"
+        )
+    return unique[len(unique) // 2].link_id
+
+
+def direct_only_link(pathset: PathSet) -> int:
+    """A link only the direct path crosses."""
+    return unique_middle_link(
+        pathset.direct, [option.concatenated for option in pathset.options]
+    )
+
+
+def overlay_only_link(pathset: PathSet, name: str) -> int:
+    """A link only overlay option ``name`` crosses."""
+    target = next(o.concatenated for o in pathset.options if o.name == name)
+    others = [pathset.direct] + [
+        option.concatenated for option in pathset.options if option.name != name
+    ]
+    return unique_middle_link(target, others)
+
+
+def best_overlay_name(pathset: PathSet) -> str:
+    """The overlay option with the best split-mode throughput at t=0."""
+    name, _ = pathset.best_overlay(PathType.SPLIT_OVERLAY, 0.0)
+    return name
+
+
+def middle_asn(internet: Internet, pathset: PathSet) -> int:
+    """The AS owning the middle router of the direct path."""
+    router_ids = pathset.direct.router_ids[1:-1]  # strip the two hosts
+    if not router_ids:
+        raise ExperimentError("direct path has no intermediate routers to fail")
+    middle = router_ids[len(router_ids) // 2]
+    return internet.routers.get(middle).asn
+
+
+def core_links(path: RouterPath) -> tuple[int, ...]:
+    """The path's non-last-mile links (storm targets)."""
+    return tuple(
+        link.link_id
+        for link in path.links
+        if link.link_class is not LinkClass.HOST_ACCESS
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario builders (windows at fractions of the horizon)
+# ----------------------------------------------------------------------
+def _w(horizon_s: float, start_frac: float, duration_frac: float) -> Window:
+    return Window(
+        start_s=round(horizon_s * start_frac, 3),
+        duration_s=round(horizon_s * duration_frac, 3),
+    )
+
+
+def build_as_outage(internet: Internet, pathset: PathSet, horizon_s: float) -> ChaosScenario:
+    """A whole intermediate AS on the direct path goes dark."""
+    asn = middle_asn(internet, pathset)
+    event = AsOutage.for_as(internet, asn, _w(horizon_s, 0.30, 0.25))
+    return ChaosScenario(
+        name="as-outage",
+        description=f"AS{asn} (mid-path transit of direct) fully down",
+        events=[event],
+    )
+
+
+def build_route_flap(internet: Internet, pathset: PathSet, horizon_s: float) -> ChaosScenario:
+    """The direct path's unique link blinks on a BGP flap cycle."""
+    link_id = direct_only_link(pathset)
+    window = _w(horizon_s, 0.25, 0.50)
+    return ChaosScenario(
+        name="route-flap",
+        description=f"link {link_id} (direct-only) withdrawn/re-announced cyclically",
+        events=[
+            RouteFlap(
+                link_ids=(link_id,),
+                window=window,
+                period_s=round(window.duration_s / 5.0, 3),
+                duty=0.5,
+            )
+        ],
+    )
+
+
+def build_gray_direct(internet: Internet, pathset: PathSet, horizon_s: float) -> ChaosScenario:
+    """The direct path silently drops a third of its traffic."""
+    link_id = direct_only_link(pathset)
+    return ChaosScenario(
+        name="gray-direct",
+        description=f"link {link_id} (direct-only) gray: 30% silent drop, +50 ms",
+        events=[
+            GrayFailure(
+                link_ids=(link_id,),
+                window=_w(horizon_s, 0.30, 0.50),
+                drop_fraction=0.30,
+                extra_delay_ms=50.0,
+            )
+        ],
+    )
+
+
+def build_storm(internet: Internet, pathset: PathSet, horizon_s: float) -> ChaosScenario:
+    """A congestion storm sweeps the direct path's core links."""
+    links = core_links(pathset.direct)
+    return ChaosScenario(
+        name="storm",
+        description=f"utilization surge +0.35 across {len(links)} core links of direct",
+        events=[
+            CongestionStorm(
+                link_ids=links, window=_w(horizon_s, 0.30, 0.40), surge=0.35
+            )
+        ],
+    )
+
+
+def _degradation_base(
+    pathset: PathSet, horizon_s: float
+) -> tuple[list[FaultEvent], str]:
+    """Gray direct for the whole run + kill the preferred overlay mid-run.
+
+    The gray failure parks the controller on an overlay (direct is
+    DEGRADED but alive — the safe harbour); the outage then kills that
+    overlay while the probe plane misbehaves.
+    """
+    gray = GrayFailure(
+        link_ids=(direct_only_link(pathset),),
+        window=Window(start_s=0.0, duration_s=horizon_s),
+        drop_fraction=0.35,
+        extra_delay_ms=40.0,
+    )
+    best = best_overlay_name(pathset)
+    outage = LinkOutage(
+        link_ids=(overlay_only_link(pathset, best),),
+        window=_w(horizon_s, 0.45, 0.30),
+    )
+    return [gray, outage], best
+
+
+def build_probe_blackout(
+    internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """Preferred overlay dies while every probe is lost."""
+    events, best = _degradation_base(pathset, horizon_s)
+    blackout = ProbeFaultEvent(
+        window=_w(horizon_s, 0.40, 0.40), fault=ProbeFaultKind.LOST
+    )
+    return ChaosScenario(
+        name="probe-blackout",
+        description=f"overlay {best} down during a total probe blackout; direct gray",
+        events=events,
+        probe_events=[blackout],
+    )
+
+
+def build_stale_probes(
+    internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """Preferred overlay dies while the probe plane serves cached data."""
+    events, best = _degradation_base(pathset, horizon_s)
+    stale = ProbeFaultEvent(
+        window=_w(horizon_s, 0.40, 0.40), fault=ProbeFaultKind.STALE
+    )
+    return ChaosScenario(
+        name="stale-probes",
+        description=f"overlay {best} down while probes answer from cache; direct gray",
+        events=events,
+        probe_events=[stale],
+    )
+
+
+def build_flapping_overlay(
+    internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """The preferred overlay blinks; direct stays gray but alive."""
+    gray = GrayFailure(
+        link_ids=(direct_only_link(pathset),),
+        window=Window(start_s=0.0, duration_s=horizon_s),
+        drop_fraction=0.35,
+        extra_delay_ms=40.0,
+    )
+    best = best_overlay_name(pathset)
+    window = _w(horizon_s, 0.25, 0.60)
+    flap = RouteFlap(
+        link_ids=(overlay_only_link(pathset, best),),
+        window=window,
+        period_s=round(window.duration_s / 6.0, 3),
+        duty=0.5,
+    )
+    return ChaosScenario(
+        name="flapping-overlay",
+        description=f"overlay {best} flapping on a BGP cycle; direct gray",
+        events=[gray, flap],
+    )
+
+
+def build_probe_loss(
+    internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """Half of all probes vanish while the direct path dies."""
+    outage = LinkOutage(
+        link_ids=(direct_only_link(pathset),), window=_w(horizon_s, 0.35, 0.30)
+    )
+    lossy = ProbeFaultEvent(
+        window=Window(start_s=0.0, duration_s=horizon_s),
+        fault=ProbeFaultKind.LOST,
+        probability=0.5,
+    )
+    return ChaosScenario(
+        name="probe-loss",
+        description="50% probe loss for the whole run; direct-only link down mid-run",
+        events=[outage],
+        probe_events=[lossy],
+    )
+
+
+#: Scenario name -> builder(internet, pathset, horizon_s).
+SCENARIOS = {
+    "as-outage": build_as_outage,
+    "route-flap": build_route_flap,
+    "gray-direct": build_gray_direct,
+    "storm": build_storm,
+    "probe-blackout": build_probe_blackout,
+    "stale-probes": build_stale_probes,
+    "flapping-overlay": build_flapping_overlay,
+    "probe-loss": build_probe_loss,
+}
+
+
+def build_scenario(
+    name: str, internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """Build one named scenario; raises for unknown names."""
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise ExperimentError(
+            f"unknown chaos scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return builder(internet, pathset, horizon_s)

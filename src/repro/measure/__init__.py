@@ -10,7 +10,7 @@
 from repro.measure.iperf import IperfReport, iperf
 from repro.measure.tstat import TstatReport, tstat
 from repro.measure.traceroute import TracerouteHop, traceroute
-from repro.measure.runner import MeasurementCampaign, Sample
+from repro.measure.runner import CampaignSummary, MeasurementCampaign, Sample, TaskCounts
 
 __all__ = [
     "IperfReport",
@@ -19,6 +19,8 @@ __all__ = [
     "tstat",
     "TracerouteHop",
     "traceroute",
+    "CampaignSummary",
     "MeasurementCampaign",
     "Sample",
+    "TaskCounts",
 ]

@@ -9,11 +9,65 @@ advancing the world clock between iterations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import MeasurementError
 from repro.net.world import Internet
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCounts:
+    """How one task fared across a campaign."""
+
+    ok: int = 0
+    errors: int = 0
+
+    @property
+    def total(self) -> int:
+        """Samples attempted for the task."""
+        return self.ok + self.errors
+
+
+@dataclass
+class CampaignSummary:
+    """Per-task ok/error tallies for one campaign run.
+
+    Error-marked samples are silent by design — one flaky vantage point
+    must not abort a week-long campaign — but silence invites rot.  The
+    summary makes the flakiness visible without changing how results
+    are consumed.
+    """
+
+    counts: dict[str, TaskCounts] = field(default_factory=dict)
+
+    @property
+    def total_ok(self) -> int:
+        """Successful samples across every task."""
+        return sum(c.ok for c in self.counts.values())
+
+    @property
+    def total_errors(self) -> int:
+        """Error-marked samples across every task."""
+        return sum(c.errors for c in self.counts.values())
+
+    def flaky_tasks(self) -> tuple[str, ...]:
+        """Tasks with at least one error-marked sample (sorted)."""
+        return tuple(
+            sorted(task_id for task_id, c in self.counts.items() if c.errors)
+        )
+
+    def render(self) -> str:
+        """One line per task, flaky ones flagged."""
+        lines = [
+            f"campaign: {self.total_ok} ok, {self.total_errors} errors "
+            f"across {len(self.counts)} tasks"
+        ]
+        for task_id in sorted(self.counts):
+            counts = self.counts[task_id]
+            flag = "  <- flaky" if counts.errors else ""
+            lines.append(f"  {task_id}: {counts.ok} ok, {counts.errors} errors{flag}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,9 +99,13 @@ class MeasurementCampaign:
         self.internet = internet
         self.interval_s = interval_s
         self.iterations = iterations
+        #: Tallies of the most recent :meth:`run` (None before any run).
+        self.summary: CampaignSummary | None = None
 
     def run(
-        self, tasks: dict[str, Callable[[float], Any]]
+        self,
+        tasks: dict[str, Callable[[float], Any]],
+        metrics=None,
     ) -> dict[str, list[Sample]]:
         """Execute every task at every iteration.
 
@@ -60,10 +118,16 @@ class MeasurementCampaign:
         recorded as an error-marked :class:`Sample` (``ok=False``) and
         every other task — and every later iteration — still runs, the
         way a real measurement harness tolerates flaky vantage points.
+        Per-task tallies land in :attr:`summary`; when ``metrics`` (a
+        :class:`~repro.control.metrics.MetricsRegistry`, duck-typed) is
+        given, every sample also increments a
+        ``campaign_samples_total{task=..., outcome=ok|error}`` counter.
         """
         if not tasks:
             raise MeasurementError("campaign has no tasks")
         results: dict[str, list[Sample]] = {task_id: [] for task_id in tasks}
+        ok_counts = {task_id: 0 for task_id in tasks}
+        error_counts = {task_id: 0 for task_id in tasks}
         for iteration in range(self.iterations):
             now = self.internet.now
             for task_id, task in tasks.items():
@@ -81,6 +145,22 @@ class MeasurementCampaign:
                         error=f"{type(error).__name__}: {error}",
                     )
                 results[task_id].append(sample)
+                if sample.ok:
+                    ok_counts[task_id] += 1
+                else:
+                    error_counts[task_id] += 1
+                if metrics is not None:
+                    outcome = "ok" if sample.ok else "error"
+                    metrics.counter(
+                        "campaign_samples_total",
+                        {"task": task_id, "outcome": outcome},
+                    ).inc()
             if iteration != self.iterations - 1:
                 self.internet.advance(self.interval_s)
+        self.summary = CampaignSummary(
+            counts={
+                task_id: TaskCounts(ok=ok_counts[task_id], errors=error_counts[task_id])
+                for task_id in tasks
+            }
+        )
         return results

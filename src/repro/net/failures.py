@@ -58,15 +58,43 @@ class FailureSchedule:
         self.events.append(event)
         return event
 
+    def scheduled_links(self) -> set[int]:
+        """Ids of every link the schedule touches."""
+        return {event.link_id for event in self.events}
+
+    def down_windows(self, link_id: int) -> list[tuple[float, float]]:
+        """The link's outage windows, overlapping/adjacent ones merged.
+
+        Liveness is the *union* of all scheduled windows: a restore from
+        an early event must never flip a link up while a later
+        overlapping event still covers the instant.
+        """
+        windows = sorted(
+            (event.start_s, event.end_s)
+            for event in self.events
+            if event.link_id == link_id
+        )
+        merged: list[tuple[float, float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def down_at(self, link_id: int, t: float) -> bool:
+        """True while any scheduled window for ``link_id`` covers ``t``."""
+        return any(event.link_id == link_id and event.active_at(t) for event in self.events)
+
     def apply(self, t: float) -> None:
         """Set each scheduled link's failed flag to match time ``t``.
 
         Links never touched by the schedule are left alone, so manual
         ``fail()`` calls elsewhere are not overridden.
         """
-        for link_id in {e.link_id for e in self.events}:
-            active = any(e.active_at(t) for e in self.events if e.link_id == link_id)
+        for link_id in self.scheduled_links():
             link = self.links_by_id[link_id]
+            active = self.down_at(link_id, t)
             if active and not link.failed:
                 link.fail()
             elif not active and link.failed:

@@ -8,6 +8,13 @@ metrics exposed here are the inputs to the transport models:
 * ``loss(t)`` — base (physical/random) loss plus congestion loss once
   utilization passes a knee,
 * ``available_bw(t)`` — headroom a new TCP flow can claim.
+
+Besides the binary ``failed`` flag, a link can carry an *impairment*:
+extra silent drop probability, extra one-way delay, and a background
+utilization surge.  Impairments model gray failures and congestion
+storms — the link reports itself "up" while quietly hurting traffic —
+and are written by :class:`~repro.faults.injector.FaultInjector` as a
+pure function of simulated time.
 """
 
 from __future__ import annotations
@@ -76,6 +83,12 @@ class Link:
     load: BackgroundLoad
     max_queue_ms: float = 40.0
     failed: bool = field(default=False)
+    #: Gray-failure drop probability added on top of base/congestion loss.
+    extra_loss: float = field(default=0.0)
+    #: Gray-failure delay added to every traversal (one-way, ms).
+    extra_delay_ms: float = field(default=0.0)
+    #: Congestion-storm surge added to background utilization.
+    util_surge: float = field(default=0.0)
 
     def __post_init__(self) -> None:
         check_positive(self.capacity_mbps, "capacity_mbps")
@@ -97,7 +110,7 @@ class Link:
         """Background utilization at time ``t`` (0 when failed: no traffic)."""
         if self.failed:
             return 0.0
-        return self.load.utilization(t)
+        return min(self.load.utilization(t) + self.util_surge, 1.0)
 
     def queuing_delay_ms(self, t: float) -> float:
         """One-way queuing delay from background load at time ``t``.
@@ -126,7 +139,11 @@ class Link:
         if u > LOSS_KNEE:
             severity = (u - LOSS_KNEE) / (1.0 - LOSS_KNEE)
             congestion = MAX_CONGESTION_LOSS * severity * severity
-        return min(self.base_loss + congestion, 1.0)
+        clean = min(self.base_loss + congestion, 1.0)
+        if self.extra_loss <= 0.0:
+            return clean
+        # Gray-failure drops are independent of congestion drops.
+        return min(1.0 - (1.0 - clean) * (1.0 - self.extra_loss), 1.0)
 
     def available_bw_mbps(self, t: float) -> float:
         """Bandwidth a new persistent flow can expect to claim at ``t``.
@@ -141,8 +158,8 @@ class Link:
         return max(headroom, MIN_FAIR_SHARE * self.capacity_mbps)
 
     def one_way_delay_ms(self, t: float) -> float:
-        """Propagation plus queuing delay at time ``t``."""
-        return self.prop_delay_ms + self.queuing_delay_ms(t)
+        """Propagation plus queuing plus impairment delay at time ``t``."""
+        return self.prop_delay_ms + self.queuing_delay_ms(t) + self.extra_delay_ms
 
     def fail(self) -> None:
         """Take the link down (used by failure-injection experiments)."""
@@ -151,3 +168,28 @@ class Link:
     def restore(self) -> None:
         """Bring a failed link back up."""
         self.failed = False
+
+    @property
+    def impaired(self) -> bool:
+        """True while a gray failure or congestion surge is in effect."""
+        return self.extra_loss > 0.0 or self.extra_delay_ms > 0.0 or self.util_surge > 0.0
+
+    def impair(
+        self,
+        extra_loss: float = 0.0,
+        extra_delay_ms: float = 0.0,
+        util_surge: float = 0.0,
+    ) -> None:
+        """Set the link's impairment (replaces any previous one)."""
+        check_fraction(extra_loss, "extra_loss")
+        check_fraction(util_surge, "util_surge")
+        check_non_negative(extra_delay_ms, "extra_delay_ms")
+        self.extra_loss = extra_loss
+        self.extra_delay_ms = extra_delay_ms
+        self.util_surge = util_surge
+
+    def clear_impairment(self) -> None:
+        """Remove any gray-failure/storm impairment."""
+        self.extra_loss = 0.0
+        self.extra_delay_ms = 0.0
+        self.util_surge = 0.0

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -130,6 +131,9 @@ class Internet:
         self._next_host_id = HOST_ID_BASE
         self._clock_s = 0.0
         self.failures = FailureSchedule(links_by_id=self.links_by_id)
+        #: Called with the new time after every clock move (fault
+        #: injectors hook in here, after the legacy failure schedule).
+        self.clock_hooks: list[Callable[[float], None]] = []
         self.addresses = AddressPlan()
         self._path_cache: dict[tuple[str, str], RouterPath] = {}
         self._build()
@@ -396,6 +400,8 @@ class Internet:
             raise ConfigError(f"cannot advance time by {seconds}")
         self._clock_s += seconds
         self.failures.apply(self._clock_s)
+        for hook in self.clock_hooks:
+            hook(self._clock_s)
         return self._clock_s
 
     def set_time(self, t: float) -> float:
@@ -404,6 +410,8 @@ class Internet:
             raise ConfigError(f"time must be >= 0, got {t}")
         self._clock_s = t
         self.failures.apply(self._clock_s)
+        for hook in self.clock_hooks:
+            hook(self._clock_s)
         return self._clock_s
 
     # ------------------------------------------------------------------
@@ -430,6 +438,16 @@ class Internet:
         path = self._expand_as_path(src, dst, as_path)
         self._path_cache[cache_key] = path
         return path
+
+    def invalidate_path_cache(self) -> None:
+        """Drop every cached host-to-host path.
+
+        BGP withdraw/re-announce cycles (route flaps) change which
+        forwarding path a fresh resolution returns; fault injectors call
+        this at each flap edge so later ``resolve_path`` calls recompute
+        instead of serving a pre-flap route.
+        """
+        self._path_cache.clear()
 
     def resolve_live_path(self, src_name: str, dst_name: str) -> RouterPath:
         """The best *currently working* path between two hosts.

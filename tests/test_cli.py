@@ -66,6 +66,35 @@ class TestCli:
         assert "static-direct" in out
         assert "metrics snapshot" in out
 
+    def test_chaos_subcommand_fast(self, capsys):
+        assert main(
+            ["chaos", "--seed", "3", "--scenario", "probe-loss", "--fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos study" in out
+        assert "probe-loss" in out
+        assert "hardened" in out
+
+    def test_chaos_list_scenarios(self, capsys):
+        assert main(["chaos", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "probe-blackout" in out
+        assert "as-outage" in out
+
+    def test_chaos_json_dump(self, capsys, tmp_path):
+        target = tmp_path / "chaos.json"
+        assert main(
+            [
+                "chaos",
+                "--seed", "3",
+                "--scenario", "gray-direct",
+                "--fast",
+                "--out", str(target),
+            ]
+        ) == 0
+        data = json.loads(target.read_text())
+        assert "outcomes" in data
+
     def test_control_json_dump(self, capsys, tmp_path):
         target = tmp_path / "control.json"
         assert main(

@@ -1,0 +1,80 @@
+"""The chaos study: determinism and the hardening payoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.chaos_exp import ChaosConfig, run_chaos
+
+
+@pytest.fixture(scope="module")
+def showcase():
+    """One study over the two degradation showcases (module-scoped: slow)."""
+    return run_chaos(
+        ChaosConfig(scenarios=("probe-blackout", "flapping-overlay"))
+    )
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self):
+        config = ChaosConfig(
+            scenarios=("probe-loss",), duration_s=900.0, tick_s=15.0,
+            probe_interval_s=30.0,
+        )
+        first = run_chaos(config)
+        second = run_chaos(config)
+        assert first.outcomes == second.outcomes
+        assert first.render() == second.render()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ExperimentError):
+            ChaosConfig(scenarios=("nope",))
+
+
+class TestHardeningPayoff:
+    def test_blackout_fallback_strictly_reduces_downtime(self, showcase):
+        # The PR-1 controller keeps trusting its last rosy probe and sits
+        # on the dead overlay through the blackout; the degradation-aware
+        # one notices its data rotted and falls back to the gray-but-alive
+        # direct path.
+        baseline = showcase.outcome("probe-blackout", "controller-best", "baseline")
+        hardened = showcase.outcome("probe-blackout", "controller-best", "hardened")
+        assert baseline.downtime_s > 0.0
+        assert hardened.downtime_s < baseline.downtime_s
+        assert hardened.wrong_path_s < baseline.downtime_s + baseline.wrong_path_s
+
+    def test_quarantine_reduces_churn_on_flapping_overlay(self, showcase):
+        baseline = showcase.outcome("flapping-overlay", "mptcp-subflows", "baseline")
+        hardened = showcase.outcome("flapping-overlay", "mptcp-subflows", "hardened")
+        assert hardened.quarantines >= 1
+        assert hardened.churn < baseline.churn
+
+    def test_baseline_arm_never_quarantines(self, showcase):
+        assert all(
+            outcome.quarantines == 0
+            for outcome in showcase.outcomes
+            if outcome.arm == "baseline"
+        )
+
+    def test_static_direct_identical_across_arms(self, showcase):
+        # No scheduler, no degradation: hardening must not touch it.
+        for scenario in showcase.config.scenario_names:
+            baseline = showcase.outcome(scenario, "static-direct", "baseline")
+            hardened = showcase.outcome(scenario, "static-direct", "hardened")
+            assert baseline.downtime_s == hardened.downtime_s
+            assert baseline.mean_goodput_mbps == hardened.mean_goodput_mbps
+
+
+class TestReporting:
+    def test_render_covers_every_scenario_and_arm(self, showcase):
+        rendered = showcase.render()
+        for scenario in showcase.config.scenario_names:
+            assert scenario in rendered
+        assert "baseline" in rendered
+        assert "hardened" in rendered
+        assert "wrong-path" in rendered
+
+    def test_outcome_lookup_rejects_unknown(self, showcase):
+        with pytest.raises(ExperimentError):
+            showcase.outcome("probe-blackout", "controller-best", "nope")

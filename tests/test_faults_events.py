@@ -1,0 +1,161 @@
+"""Fault-event taxonomy: effects as pure functions of time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.events import (
+    NO_EFFECT,
+    AsOutage,
+    CongestionStorm,
+    GrayFailure,
+    LinkEffect,
+    LinkOutage,
+    ProbeFaultEvent,
+    ProbeFaultKind,
+    RouteFlap,
+    Window,
+    window_for,
+)
+from repro.rand import RandomStreams
+
+
+class TestWindow:
+    def test_half_open(self):
+        window = Window(start_s=10.0, duration_s=5.0)
+        assert not window.covers(9.999)
+        assert window.covers(10.0)
+        assert window.covers(14.999)
+        assert not window.covers(15.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            Window(start_s=-1.0, duration_s=5.0)
+        with pytest.raises(ConfigError):
+            Window(start_s=0.0, duration_s=0.0)
+        with pytest.raises(ConfigError):
+            window_for(float("inf"), 1.0)
+
+
+class TestLinkEffect:
+    def test_merge_outage_dominates(self):
+        merged = LinkEffect(failed=True).merge(LinkEffect(extra_loss=0.2))
+        assert merged.failed
+        assert merged.extra_loss == pytest.approx(0.2)
+
+    def test_merge_losses_combine_independently(self):
+        merged = LinkEffect(extra_loss=0.5).merge(LinkEffect(extra_loss=0.5))
+        assert merged.extra_loss == pytest.approx(0.75)
+
+    def test_merge_delay_adds_and_surge_caps(self):
+        merged = LinkEffect(extra_delay_ms=10.0, util_surge=0.7).merge(
+            LinkEffect(extra_delay_ms=5.0, util_surge=0.7)
+        )
+        assert merged.extra_delay_ms == pytest.approx(15.0)
+        assert merged.util_surge == pytest.approx(1.0)
+
+
+class TestDataPlaneEvents:
+    def test_link_outage_only_inside_window(self):
+        event = LinkOutage(link_ids=(3, 1), window=Window(100.0, 50.0))
+        assert event.link_ids == (1, 3)  # sorted
+        assert event.effect_at(99.0) is NO_EFFECT
+        assert event.effect_at(100.0).failed
+        assert event.effect_at(150.0) is NO_EFFECT
+
+    def test_duplicate_and_empty_links_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkOutage(link_ids=(), window=Window(0.0, 1.0))
+        with pytest.raises(ConfigError):
+            LinkOutage(link_ids=(1, 1), window=Window(0.0, 1.0))
+
+    def test_as_outage_collects_as_links(self, small_internet):
+        asn = next(iter(small_internet.topology.ases))
+        event = AsOutage.for_as(small_internet, asn, Window(0.0, 10.0))
+        routers = {r.router_id for r in small_internet.routers.of_as(asn)}
+        for link_id in event.link_ids:
+            link = small_internet.links_by_id[link_id]
+            assert link.router_a in routers or link.router_b in routers
+        assert f"AS{asn}" in event.describe()
+
+    def test_gray_failure_effect(self):
+        event = GrayFailure(
+            link_ids=(1,), window=Window(0.0, 10.0), drop_fraction=0.3,
+            extra_delay_ms=20.0,
+        )
+        effect = event.effect_at(5.0)
+        assert not effect.failed
+        assert effect.extra_loss == pytest.approx(0.3)
+        assert effect.extra_delay_ms == pytest.approx(20.0)
+
+    def test_gray_failure_validation(self):
+        with pytest.raises(ConfigError):
+            GrayFailure(link_ids=(1,), window=Window(0.0, 1.0), drop_fraction=0.0)
+        with pytest.raises(ConfigError):
+            GrayFailure(
+                link_ids=(1,), window=Window(0.0, 1.0), drop_fraction=0.5,
+                extra_delay_ms=-1.0,
+            )
+
+    def test_storm_effect(self):
+        event = CongestionStorm(link_ids=(1,), window=Window(0.0, 10.0), surge=0.4)
+        assert event.effect_at(1.0).util_surge == pytest.approx(0.4)
+        with pytest.raises(ConfigError):
+            CongestionStorm(link_ids=(1,), window=Window(0.0, 1.0), surge=0.0)
+
+
+class TestRouteFlap:
+    def flap(self) -> RouteFlap:
+        return RouteFlap(
+            link_ids=(1,), window=Window(100.0, 100.0), period_s=20.0, duty=0.5
+        )
+
+    def test_cycles_withdraw_then_announce(self):
+        event = self.flap()
+        assert event.effect_at(105.0).failed  # first half: withdrawn
+        assert event.effect_at(115.0) is NO_EFFECT  # second half: announced
+        assert event.effect_at(125.0).failed  # next cycle
+        assert event.effect_at(99.0) is NO_EFFECT
+        assert event.effect_at(200.0) is NO_EFFECT
+
+    def test_phase_changes_at_every_edge(self):
+        event = self.flap()
+        phases = [event.phase_at(t) for t in (99.0, 105.0, 115.0, 125.0, 135.0, 200.0)]
+        assert phases[0] == 0
+        assert len(set(phases[:5])) == 5  # every sampled half-cycle distinct
+        assert phases[-1] == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RouteFlap(link_ids=(1,), window=Window(0.0, 10.0), period_s=20.0)
+        with pytest.raises(ConfigError):
+            RouteFlap(link_ids=(1,), window=Window(0.0, 10.0), period_s=5.0, duty=1.0)
+
+
+class TestProbeFaultEvent:
+    def test_window_and_label_scoping(self):
+        rng = RandomStreams(seed=1).stream("t")
+        event = ProbeFaultEvent(
+            window=Window(0.0, 10.0), fault=ProbeFaultKind.LOST, labels=("direct",)
+        )
+        assert event.applies("direct", 5.0, rng)
+        assert not event.applies("vm", 5.0, rng)
+        assert not event.applies("direct", 10.0, rng)
+
+    def test_intermittent_fault_draws_from_stream(self):
+        event = ProbeFaultEvent(
+            window=Window(0.0, 1000.0), fault=ProbeFaultKind.TIMEOUT, probability=0.5
+        )
+        rng = RandomStreams(seed=1).stream("t")
+        hits = sum(event.applies("direct", float(t), rng) for t in range(200))
+        assert 60 < hits < 140
+        rng2 = RandomStreams(seed=1).stream("t")
+        hits2 = sum(event.applies("direct", float(t), rng2) for t in range(200))
+        assert hits == hits2  # same stream, same faults
+
+    def test_probability_validated(self):
+        with pytest.raises(ConfigError):
+            ProbeFaultEvent(
+                window=Window(0.0, 1.0), fault=ProbeFaultKind.LOST, probability=0.0
+            )

@@ -1,0 +1,161 @@
+"""FaultInjector: correlated events applied against a live Internet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.events import (
+    AsOutage,
+    GrayFailure,
+    LinkOutage,
+    ProbeFaultEvent,
+    ProbeFaultKind,
+    RouteFlap,
+    Window,
+)
+from repro.faults.injector import FaultInjector, ProbeFaultModel
+from repro.rand import RandomStreams
+
+
+def any_link(small_internet):
+    return next(iter(small_internet.links_by_id.values()))
+
+
+class TestInjection:
+    def test_outage_follows_clock(self, small_internet):
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(LinkOutage(link_ids=(link.link_id,), window=Window(100.0, 50.0)))
+        injector.install()
+        assert not link.failed
+        small_internet.set_time(120.0)
+        assert link.failed
+        small_internet.set_time(160.0)
+        assert not link.failed
+
+    def test_unknown_link_rejected(self, small_internet):
+        injector = FaultInjector(small_internet)
+        with pytest.raises(ConfigError):
+            injector.add(LinkOutage(link_ids=(999_999,), window=Window(0.0, 1.0)))
+
+    def test_as_outage_fails_every_as_link(self, small_internet):
+        asn = next(iter(small_internet.topology.ases))
+        event = AsOutage.for_as(small_internet, asn, Window(50.0, 100.0))
+        injector = FaultInjector(small_internet)
+        injector.add(event)
+        injector.install()
+        small_internet.set_time(75.0)
+        assert all(
+            small_internet.links_by_id[link_id].failed for link_id in event.link_ids
+        )
+        small_internet.set_time(200.0)
+        assert not any(
+            small_internet.links_by_id[link_id].failed for link_id in event.link_ids
+        )
+
+    def test_gray_failure_impairs_without_failing(self, small_internet):
+        link = any_link(small_internet)
+        clean_loss = link.loss(120.0)
+        clean_delay = link.one_way_delay_ms(120.0)
+        injector = FaultInjector(small_internet)
+        injector.add(
+            GrayFailure(
+                link_ids=(link.link_id,), window=Window(100.0, 50.0),
+                drop_fraction=0.3, extra_delay_ms=25.0,
+            )
+        )
+        injector.install()
+        small_internet.set_time(120.0)
+        assert not link.failed
+        assert link.impaired
+        assert link.loss(120.0) > clean_loss
+        assert link.one_way_delay_ms(120.0) == pytest.approx(clean_delay + 25.0)
+        small_internet.set_time(200.0)
+        assert not link.impaired
+
+    def test_uninstall_restores_everything(self, small_internet):
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(LinkOutage(link_ids=(link.link_id,), window=Window(0.0, 100.0)))
+        injector.add(
+            GrayFailure(
+                link_ids=(link.link_id,), window=Window(0.0, 100.0), drop_fraction=0.5
+            )
+        )
+        injector.install()
+        assert link.failed
+        injector.uninstall()
+        assert not link.failed
+        assert not link.impaired
+        assert injector.apply not in small_internet.clock_hooks
+
+    def test_rewind_replays_identically(self, small_internet):
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(LinkOutage(link_ids=(link.link_id,), window=Window(100.0, 50.0)))
+        injector.install()
+
+        def states():
+            out = []
+            small_internet.set_time(0.0)
+            for _ in range(20):
+                small_internet.advance(10.0)
+                out.append(link.failed)
+            return out
+
+        assert states() == states()
+
+
+class TestLegacyScheduleOverlap:
+    def test_injector_never_restores_legacy_held_link(self, small_internet):
+        # Legacy schedule holds [100, 300); the injected event ends at
+        # 200 — the link must stay down until *both* windows clear.
+        link = any_link(small_internet)
+        small_internet.failures.schedule(link.link_id, 100.0, 200.0)
+        injector = FaultInjector(small_internet)
+        injector.add(LinkOutage(link_ids=(link.link_id,), window=Window(150.0, 50.0)))
+        injector.install()
+        small_internet.set_time(175.0)
+        assert link.failed
+        small_internet.set_time(250.0)  # injected event over, legacy still active
+        assert link.failed
+        small_internet.set_time(350.0)
+        assert not link.failed
+
+
+class TestRouteFlapEdges:
+    def test_each_edge_invalidates_path_cache(self, small_internet):
+        link = any_link(small_internet)
+        path = small_internet.resolve_path("client", "server")
+        assert small_internet.resolve_path("client", "server") is path  # cached
+        injector = FaultInjector(small_internet)
+        injector.add(
+            RouteFlap(
+                link_ids=(link.link_id,), window=Window(100.0, 100.0), period_s=20.0
+            )
+        )
+        injector.install()
+        small_internet.set_time(105.0)  # idle -> withdrawn edge
+        recomputed = small_internet.resolve_path("client", "server")
+        assert recomputed is not path
+        assert injector.route_recomputations >= 1
+        before = injector.route_recomputations
+        small_internet.set_time(115.0)  # withdrawn -> announced edge
+        assert injector.route_recomputations == before + 1
+        small_internet.set_time(116.0)  # no edge: same half-cycle
+        assert injector.route_recomputations == before + 1
+
+
+class TestProbeFaultModel:
+    def test_first_matching_event_wins_and_counts(self):
+        events = [
+            ProbeFaultEvent(window=Window(0.0, 10.0), fault=ProbeFaultKind.LOST),
+            ProbeFaultEvent(window=Window(0.0, 100.0), fault=ProbeFaultKind.STALE),
+        ]
+        model = ProbeFaultModel(events, RandomStreams(seed=2).stream("pf"))
+        assert model.outcome("direct", 5.0) is ProbeFaultKind.LOST
+        assert model.outcome("direct", 50.0) is ProbeFaultKind.STALE
+        assert model.outcome("direct", 200.0) is None
+        assert model.struck["lost"] == 1
+        assert model.struck["stale"] == 1

@@ -1,0 +1,71 @@
+"""Named chaos scenarios: construction, targeting, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pathset import PathSet
+from repro.errors import ExperimentError
+from repro.faults.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    direct_only_link,
+    unique_middle_link,
+)
+from repro.tunnel.node import OverlayNode
+
+
+@pytest.fixture()
+def pathset(small_internet) -> PathSet:
+    node = OverlayNode(host=small_internet.host("vm"))
+    return PathSet.build(small_internet, "server", "client", [node])
+
+
+class TestTargetHelpers:
+    def test_direct_only_link_not_on_overlays(self, pathset):
+        link_id = direct_only_link(pathset)
+        for option in pathset.options:
+            assert link_id not in {
+                link.link_id for link in option.concatenated.links
+            }
+
+    def test_unique_middle_link_fails_when_fully_shared(self, pathset):
+        with pytest.raises(ExperimentError):
+            unique_middle_link(pathset.direct, [pathset.direct])
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_builds(self, name, small_internet, pathset):
+        scenario = build_scenario(name, small_internet, pathset, horizon_s=3_600.0)
+        assert scenario.name == name
+        assert scenario.events or scenario.probe_events
+        for event in scenario.events:
+            assert event.window.end_s <= 3_600.0
+            for link_id in event.link_ids:
+                assert link_id in small_internet.links_by_id
+        assert scenario.describe().startswith(name)
+
+    def test_windows_scale_with_horizon(self, small_internet, pathset):
+        short = build_scenario("as-outage", small_internet, pathset, horizon_s=900.0)
+        long = build_scenario("as-outage", small_internet, pathset, horizon_s=3_600.0)
+        assert short.events[0].window.start_s * 4 == pytest.approx(
+            long.events[0].window.start_s
+        )
+
+    def test_same_inputs_same_targets(self, small_internet, pathset):
+        first = build_scenario("probe-blackout", small_internet, pathset, 3_600.0)
+        second = build_scenario("probe-blackout", small_internet, pathset, 3_600.0)
+        assert [e.link_ids for e in first.events] == [e.link_ids for e in second.events]
+        assert first.description == second.description
+
+    def test_unknown_scenario_rejected(self, small_internet, pathset):
+        with pytest.raises(ExperimentError, match="unknown chaos scenario"):
+            build_scenario("nope", small_internet, pathset, 3_600.0)
+
+    def test_degradation_showcase_shape(self, small_internet, pathset):
+        scenario = build_scenario("probe-blackout", small_internet, pathset, 3_600.0)
+        kinds = [event.kind for event in scenario.events]
+        assert "gray-failure" in kinds
+        assert "link-outage" in kinds
+        assert len(scenario.probe_events) == 1

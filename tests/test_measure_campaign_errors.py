@@ -60,3 +60,58 @@ class TestCampaignErrorTolerance:
         campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=1)
         with pytest.raises(MeasurementError):
             campaign.run({})
+
+
+class TestCampaignSummary:
+    def run_mixed(self, small_internet) -> MeasurementCampaign:
+        def flaky(now: float) -> float:
+            if now >= 10.0:
+                raise RuntimeError("boom")
+            return now
+
+        campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=3)
+        campaign.run({"flaky": flaky, "steady": lambda now: now})
+        return campaign
+
+    def test_summary_counts_per_task(self, small_internet):
+        summary = self.run_mixed(small_internet).summary
+        assert summary.counts["flaky"].ok == 1
+        assert summary.counts["flaky"].errors == 2
+        assert summary.counts["steady"].ok == 3
+        assert summary.counts["steady"].errors == 0
+        assert summary.total_ok == 4
+        assert summary.total_errors == 2
+        assert summary.flaky_tasks() == ("flaky",)
+
+    def test_summary_render_flags_flaky_tasks(self, small_internet):
+        rendered = self.run_mixed(small_internet).summary.render()
+        assert "4 ok, 2 errors" in rendered
+        assert "flaky: 1 ok, 2 errors  <- flaky" in rendered
+        assert "steady: 3 ok, 0 errors" in rendered
+
+    def test_summary_none_before_any_run(self, small_internet):
+        campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=1)
+        assert campaign.summary is None
+
+    def test_metrics_registry_sees_every_sample(self, small_internet):
+        from repro.control.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
+        def broken(now: float) -> float:
+            raise RuntimeError("boom")
+
+        campaign = MeasurementCampaign(small_internet, interval_s=10.0, iterations=2)
+        campaign.run({"broken": broken, "steady": lambda now: now}, metrics=metrics)
+        assert (
+            metrics.counter(
+                "campaign_samples_total", {"task": "broken", "outcome": "error"}
+            ).value
+            == 2
+        )
+        assert (
+            metrics.counter(
+                "campaign_samples_total", {"task": "steady", "outcome": "ok"}
+            ).value
+            == 2
+        )

@@ -1,0 +1,80 @@
+"""FailureSchedule liveness: the union of active windows governs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.failures import FailureEvent, FailureSchedule
+
+
+def victim(small_internet):
+    return next(iter(small_internet.links_by_id.values()))
+
+
+class TestOverlappingEvents:
+    def test_overlap_keeps_link_down_through_union(self, small_internet):
+        # [100, 200) and [150, 300): the first event's end must not
+        # restore the link while the second still covers the instant.
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 100.0, 100.0)
+        schedule.schedule(link.link_id, 150.0, 150.0)
+        for t, down in ((99.0, False), (120.0, True), (250.0, True), (300.0, False)):
+            schedule.apply(t)
+            assert link.failed is down, f"at t={t}"
+
+    def test_adjacent_windows_merge_seamlessly(self, small_internet):
+        # [100, 200) then [200, 300): no one-instant blip in between.
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 100.0, 100.0)
+        schedule.schedule(link.link_id, 200.0, 100.0)
+        assert schedule.down_windows(link.link_id) == [(100.0, 300.0)]
+        schedule.apply(200.0)
+        assert link.failed
+
+    def test_down_windows_merges_and_sorts(self, small_internet):
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 500.0, 100.0)
+        schedule.schedule(link.link_id, 100.0, 100.0)
+        schedule.schedule(link.link_id, 150.0, 100.0)
+        assert schedule.down_windows(link.link_id) == [(100.0, 250.0), (500.0, 600.0)]
+
+    def test_down_at_matches_any_event(self, small_internet):
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 100.0, 100.0)
+        schedule.schedule(link.link_id, 400.0, 100.0)
+        assert schedule.down_at(link.link_id, 150.0)
+        assert not schedule.down_at(link.link_id, 300.0)
+        assert schedule.down_at(link.link_id, 450.0)
+        assert not schedule.down_at(link.link_id, 600.0)
+
+    def test_scheduled_links(self, small_internet):
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        assert schedule.scheduled_links() == set()
+        schedule.schedule(link.link_id, 0.0, 10.0)
+        assert schedule.scheduled_links() == {link.link_id}
+
+
+class TestValidation:
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            FailureEvent(link_id=1, start_s=-1.0, duration_s=10.0)
+        with pytest.raises(ConfigError):
+            FailureEvent(link_id=1, start_s=0.0, duration_s=0.0)
+
+    def test_unknown_link_rejected(self, small_internet):
+        with pytest.raises(ConfigError):
+            small_internet.failures.schedule(999_999, 0.0, 1.0)
+
+    def test_unscheduled_links_left_alone(self, small_internet):
+        schedule = FailureSchedule(links_by_id=small_internet.links_by_id)
+        link = victim(small_internet)
+        link.fail()  # manual failure, no schedule entry
+        schedule.apply(50.0)
+        assert link.failed
+        link.restore()
