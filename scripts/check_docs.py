@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Docs-consistency gate: the CLI and the docs must not drift apart.
+
+Two invariants, both cheap and both historically violated by docs rot:
+
+1. Every ``repro`` CLI verb (the argparse subcommands) is mentioned in
+   README.md — an operator reading the README discovers every verb.
+2. Every ``DESIGN.md §N`` reference in EXPERIMENTS.md and README.md
+   points at a section heading that actually exists in DESIGN.md.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Exits non-zero listing every violation; prints a one-line OK otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def cli_verbs() -> list[str]:
+    """The repro CLI's subcommand names, read from the live parser."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise AssertionError("repro CLI has no subparsers — parser layout changed?")
+
+
+def design_sections(design_text: str) -> set[str]:
+    """Section numbers declared as ``## N.`` headings in DESIGN.md."""
+    return set(re.findall(r"^## (\d+)\.", design_text, flags=re.MULTILINE))
+
+
+def design_references(doc_text: str) -> set[str]:
+    """Section numbers referenced as ``DESIGN.md §N`` (or ``§N–§M``)."""
+    refs: set[str] = set()
+    for match in re.finditer(r"DESIGN(?:\.md)?\s+§(\d+)(?:\s*[-–]\s*§?(\d+))?", doc_text):
+        first = int(match.group(1))
+        last = int(match.group(2)) if match.group(2) else first
+        refs.update(str(n) for n in range(first, last + 1))
+    return refs
+
+
+def main() -> int:
+    """Check both invariants; return a shell exit status."""
+    problems: list[str] = []
+
+    readme = (ROOT / "README.md").read_text()
+    design = (ROOT / "DESIGN.md").read_text()
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+
+    for verb in cli_verbs():
+        if not re.search(rf"\brepro {verb}\b", readme):
+            problems.append(
+                f"README.md never mentions the CLI verb {verb!r} "
+                f"(expected the literal text 'repro {verb}')"
+            )
+
+    sections = design_sections(design)
+    for name, text in (("EXPERIMENTS.md", experiments), ("README.md", readme)):
+        for ref in sorted(design_references(text), key=int):
+            if ref not in sections:
+                problems.append(
+                    f"{name} references DESIGN.md §{ref}, but DESIGN.md has no "
+                    f"'## {ref}.' heading (sections: {sorted(sections, key=int)})"
+                )
+
+    if problems:
+        print("docs-consistency check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+
+    print(f"docs-consistency OK: {len(cli_verbs())} CLI verbs in README, "
+          f"all DESIGN.md section references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

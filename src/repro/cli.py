@@ -90,7 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(chaos)
     chaos.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
-        help="scenario to run (repeatable; 'all' or omitted = every scenario)",
+        help=(
+            "scenario to run (repeatable; omitted = the classic suite, "
+            "'all' = every scenario including gray-detect)"
+        ),
     )
     chaos.add_argument(
         "--duration", type=float, default=3_600.0, help="simulated seconds to run"
@@ -100,6 +103,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--probe-interval", type=float, default=60.0, help="seconds between path probes"
+    )
+    chaos.add_argument(
+        "--adaptive", action="store_true",
+        help=(
+            "add the adaptive arm: health-driven probe cadence, gray-failure "
+            "detection, fault-history-weighted switching"
+        ),
+    )
+    chaos.add_argument(
+        "--probe-floor", type=float, default=None, metavar="SECONDS",
+        help="adaptive cadence floor (default: probe interval / 4)",
+    )
+    chaos.add_argument(
+        "--probe-ceiling", type=float, default=None, metavar="SECONDS",
+        help="adaptive cadence ceiling (default: probe interval)",
     )
     chaos.add_argument(
         "--fast", action="store_true",
@@ -185,7 +203,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  {name}")
         return 0
     wanted = args.scenario or []
-    scenarios = () if not wanted or "all" in wanted else tuple(wanted)
+    if "all" in wanted:
+        scenarios = tuple(SCENARIOS)
+    else:
+        # Omitted = () = the classic default suite, which keeps the
+        # knobs-off output identical to historical runs.
+        scenarios = tuple(wanted)
     if args.fast:
         # Windows sit at horizon fractions and the degradation ladder
         # scales with the probe cadence, so shrinking both keeps every
@@ -200,6 +223,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration_s=duration,
         tick_s=tick,
         probe_interval_s=interval,
+        adaptive=args.adaptive,
+        probe_floor_s=args.probe_floor,
+        probe_ceiling_s=args.probe_ceiling,
     )
     result = run_chaos(config)
     print(result.render())

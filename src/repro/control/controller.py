@@ -126,6 +126,7 @@ class OverlayController:
         mode: PathType = PathType.SPLIT_OVERLAY,
         degradation: DegradationConfig | None = None,
         track_oracle: bool = False,
+        flap_history=None,
     ) -> None:
         if tick_s <= 0:
             raise ControlError(f"tick must be positive, got {tick_s}")
@@ -143,6 +144,10 @@ class OverlayController:
         self.degradation = degradation
         self.guard = DegradationGuard(degradation) if degradation is not None else None
         self.track_oracle = track_oracle
+        #: Fault history handed to the policy's ``decide`` (anything
+        #: satisfying :class:`~repro.control.policy.FaultHistory`).
+        #: Defaults to the degradation guard's observed flap history.
+        self.flap_history = flap_history if flap_history is not None else self.guard
         now = internet.now
         config = health_config if health_config is not None else HealthConfig()
         labels = (
@@ -252,7 +257,9 @@ class OverlayController:
             return
         if decision is None:
             health, probes = self._policy_views(now)
-            decision = self.policy.decide(now, health, probes, self.active)
+            decision = self.policy.decide(
+                now, health, probes, self.active, history=self.flap_history
+            )
         if decision.active == self.active:
             return
         record = DecisionRecord(
@@ -273,6 +280,25 @@ class OverlayController:
                 self._active_failed_at = None
         self.active = decision.active
         self.metrics.gauge("active_paths").set(len(self.active))
+
+    def _adapt_cadence(self, now: float) -> None:
+        """Feed the health view to the scheduler's adaptive cadence.
+
+        "All healthy" means every machine is literally HEALTHY —
+        DEGRADED, GRAY and FAILED all keep (or make) the cadence
+        tight, because each means the controller is actively steering
+        around trouble and needs fresh data.  No-op unless the probe
+        config enables adaptation.
+        """
+        if self.scheduler is None or not self.scheduler.config.adaptive:
+            return
+        all_healthy = all(
+            machine.state is PathState.HEALTHY for machine in self.health.values()
+        )
+        self.scheduler.adapt(now, all_healthy)
+        self.metrics.gauge("probe_interval_s").set(
+            round(self.scheduler.current_interval_s, 6)
+        )
 
     def _label_rate(self, label: str, now: float) -> float:
         """Deliverable rate of one candidate path (0 when dead)."""
@@ -315,6 +341,7 @@ class OverlayController:
         now = start
         while now < end:
             triggers = self._run_probes(now)
+            self._adapt_cadence(now)
             self._decide(now, triggers)
             goodput = self._goodput(now)
             best = self._best_possible(now) if self.track_oracle else None

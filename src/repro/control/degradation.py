@@ -116,6 +116,21 @@ class DegradationGuard:
         until = self._quarantined_until.get(label)
         return until is not None and now < until
 
+    def recent_failures(self, label: str, now: float) -> int:
+        """FAILED entries of ``label`` within the flap window before ``now``.
+
+        This is the guard's observed fault history, in the shape the
+        policy layer's :class:`~repro.control.policy.FaultHistory`
+        protocol expects: a path that keeps failing scores high, and a
+        fault-aware policy demands a correspondingly larger switch
+        margin before trusting it again.
+        """
+        times = self._failed_at.get(label)
+        if not times:
+            return 0
+        cutoff = now - self.config.flap_window_s
+        return sum(1 for t in times if cutoff <= t <= now)
+
     def active_quarantines(self, now: float) -> tuple[str, ...]:
         """Labels currently excluded (sorted)."""
         return tuple(

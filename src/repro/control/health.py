@@ -1,4 +1,4 @@
-"""Per-path health: a HEALTHY / DEGRADED / FAILED state machine.
+"""Per-path health: a HEALTHY / DEGRADED / GRAY / FAILED state machine.
 
 Probe results drive the machine; hysteresis keeps it honest:
 
@@ -12,14 +12,26 @@ Probe results drive the machine; hysteresis keeps it honest:
 
                  degraded x N                bad x M
     HEALTHY  ────────────────►  DEGRADED ────────────►  FAILED
-       ▲                          │  ▲                    │
-       │   good x K + hold        │  │     good x K       │
-       └──────────────────────────┘  └────────────────────┘
+       ▲  ▲                       │  ▲                  ▲ │
+       │  │   good x K + hold     │  │     good x K     │ │
+       │  └───────────────────────┘  └──────────────────┼─┘
+       │              gray x G                 bad x M  │
+       └─────────────────────────►  GRAY  ──────────────┘
+                  good x K
 
 Degradation is judged against a per-path EWMA RTT baseline learned
 while the path is good — "slower than *your own usual*", not an
 absolute threshold, mirroring how latency-aware overlay controllers
 score paths.
+
+GRAY (opt-in via :attr:`HealthConfig.gray_detect`) is the cross-check
+state: the pings come back clean but the throughput probe has
+collapsed against the path's own throughput baseline.  That is the
+signature of a gray failure — a link healthy by every lightweight
+check while silently dropping the bulk traffic that matters.  GRAY
+ranks *worse* than DEGRADED (the data plane is broken, not merely
+slow) but promotes straight back to HEALTHY without the recovery
+hold: the throughput probe is direct evidence, not circumstantial.
 """
 
 from __future__ import annotations
@@ -37,14 +49,20 @@ class PathState(enum.Enum):
 
     HEALTHY = "healthy"
     DEGRADED = "degraded"
+    #: Pings clean, bulk throughput collapsed: a gray failure.
+    GRAY = "gray"
     FAILED = "failed"
 
 
-#: Ordering for "prefer healthier paths" comparisons.
+#: Ordering for "prefer healthier paths" comparisons.  GRAY sits
+#: between DEGRADED and FAILED: its data plane is silently broken, so
+#: it must lose to any merely-slow path, but it still answers probes
+#: and may carry traffic as a last resort.
 STATE_RANK: dict[PathState, int] = {
     PathState.HEALTHY: 0,
     PathState.DEGRADED: 1,
-    PathState.FAILED: 2,
+    PathState.GRAY: 2,
+    PathState.FAILED: 3,
 }
 
 
@@ -69,6 +87,15 @@ class HealthConfig:
     recovery_hold_s: float = 60.0
     #: EWMA weight of the newest good RTT sample in the baseline.
     baseline_alpha: float = 0.3
+    #: Cross-check throughput probes against ping loss; a path whose
+    #: pings are clean but whose throughput has collapsed goes GRAY.
+    #: Off by default: the pre-existing three-state machine.
+    gray_detect: bool = False
+    #: Throughput below baseline * factor (with clean pings) counts as
+    #: a gray observation.
+    gray_throughput_factor: float = 0.5
+    #: Consecutive gray observations before GRAY.
+    gray_after: int = 2
 
     def __post_init__(self) -> None:
         if self.degrade_rtt_factor <= 1.0:
@@ -84,6 +111,13 @@ class HealthConfig:
             raise ControlError("recovery_hold_s must be >= 0")
         if not 0.0 < self.baseline_alpha <= 1.0:
             raise ControlError("baseline_alpha must be in (0, 1]")
+        if not 0.0 < self.gray_throughput_factor < 1.0:
+            raise ControlError(
+                f"gray_throughput_factor must be in (0, 1), got "
+                f"{self.gray_throughput_factor}"
+            )
+        if self.gray_after < 1:
+            raise ControlError("gray_after must be >= 1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,9 +142,11 @@ class PathHealth:
 
     def __post_init__(self) -> None:
         self.baseline_rtt_ms: float | None = None
+        self.baseline_throughput_mbps: float | None = None
         self._good_streak = 0
         self._notgood_streak = 0
         self._bad_streak = 0
+        self._gray_streak = 0
         self._last_notgood_time = -math.inf
         self._since = self.created_at
         self._time_in_state: dict[PathState, float] = {s: 0.0 for s in PathState}
@@ -120,7 +156,14 @@ class PathHealth:
     # observation classification
     # ------------------------------------------------------------------
     def _classify(self, probe: ProbeResult) -> str:
-        """"good" | "degraded" | "bad" for one probe result."""
+        """"good" | "degraded" | "gray" | "bad" for one probe result.
+
+        The gray branch is the cross-check: the pings came back clean
+        (loss and RTT both fine) yet the throughput probe collapsed
+        against this path's own learned baseline.  Ping-visible
+        problems always win — a path that is visibly lossy or slow is
+        DEGRADED, not GRAY, however bad its throughput.
+        """
         if not probe.ok or probe.loss >= self.config.fail_loss:
             return "bad"
         if probe.loss >= self.config.degrade_loss:
@@ -130,14 +173,33 @@ class PathHealth:
             and probe.rtt_ms > self.baseline_rtt_ms * self.config.degrade_rtt_factor
         ):
             return "degraded"
+        if (
+            self.config.gray_detect
+            and probe.throughput_mbps is not None
+            and self.baseline_throughput_mbps is not None
+            and probe.throughput_mbps
+            < self.baseline_throughput_mbps * self.config.gray_throughput_factor
+        ):
+            return "gray"
         return "good"
 
-    def _update_baseline(self, rtt_ms: float) -> None:
+    def _update_baseline(self, probe: ProbeResult) -> None:
+        alpha = self.config.baseline_alpha
         if self.baseline_rtt_ms is None:
-            self.baseline_rtt_ms = rtt_ms
+            self.baseline_rtt_ms = probe.rtt_ms
         else:
-            alpha = self.config.baseline_alpha
-            self.baseline_rtt_ms = alpha * rtt_ms + (1.0 - alpha) * self.baseline_rtt_ms
+            self.baseline_rtt_ms = (
+                alpha * probe.rtt_ms + (1.0 - alpha) * self.baseline_rtt_ms
+            )
+        if probe.throughput_mbps is None or probe.throughput_mbps <= 0.0:
+            return
+        if self.baseline_throughput_mbps is None:
+            self.baseline_throughput_mbps = probe.throughput_mbps
+        else:
+            self.baseline_throughput_mbps = (
+                alpha * probe.throughput_mbps
+                + (1.0 - alpha) * self.baseline_throughput_mbps
+            )
 
     # ------------------------------------------------------------------
     # the machine
@@ -153,11 +215,13 @@ class PathHealth:
             self._good_streak += 1
             self._notgood_streak = 0
             self._bad_streak = 0
-            self._update_baseline(probe.rtt_ms)
+            self._gray_streak = 0
+            self._update_baseline(probe)
         else:
             self._good_streak = 0
             self._notgood_streak += 1
             self._bad_streak = self._bad_streak + 1 if kind == "bad" else 0
+            self._gray_streak = self._gray_streak + 1 if kind == "gray" else 0
             self._last_notgood_time = probe.at_time
         return self._maybe_transition(probe.at_time, kind)
 
@@ -168,12 +232,26 @@ class PathHealth:
         if self.state is not PathState.FAILED and self._bad_streak >= cfg.fail_after:
             new = PathState.FAILED
             reason = f"{self._bad_streak} consecutive failed probes"
+        elif (
+            self.state in (PathState.HEALTHY, PathState.DEGRADED)
+            and self._gray_streak >= cfg.gray_after
+        ):
+            new = PathState.GRAY
+            reason = (
+                f"{self._gray_streak} clean pings with collapsed throughput "
+                f"(gray failure)"
+            )
         elif self.state is PathState.HEALTHY and self._notgood_streak >= cfg.degrade_after:
             new = PathState.DEGRADED
             reason = f"{self._notgood_streak} consecutive degraded probes"
         elif self.state is PathState.FAILED and self._good_streak >= cfg.recover_after:
             new = PathState.DEGRADED
             reason = f"{self._good_streak} consecutive good probes"
+        elif self.state is PathState.GRAY and self._good_streak >= cfg.recover_after:
+            # No recovery hold: a recovered throughput probe is direct
+            # evidence the bulk plane works again, not circumstantial.
+            new = PathState.HEALTHY
+            reason = f"{self._good_streak} consecutive good probes, throughput restored"
         elif (
             self.state is PathState.DEGRADED
             and self._good_streak >= cfg.recover_after

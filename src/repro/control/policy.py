@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Protocol, runtime_checkable
 
 from repro.control.health import PathHealth, PathState, STATE_RANK
 from repro.control.probes import ProbeResult
@@ -32,6 +32,20 @@ from repro.errors import ControlError
 #: The paper's C4.5 thresholds (Sec. V-B): RTT cut 10.5 %, loss cut 12.1 %.
 C45_RTT_CUT = 0.105
 C45_LOSS_CUT = 0.121
+
+
+@runtime_checkable
+class FaultHistory(Protocol):
+    """Anything that can count a path's recent failures.
+
+    Satisfied by :class:`~repro.control.degradation.DegradationGuard`
+    (observed failures) and :class:`~repro.faults.injector.
+    PathFaultHistory` (scheduled down-windows).
+    """
+
+    def recent_failures(self, label: str, now: float) -> int:
+        """Failures of ``label`` within the history window before ``now``."""
+        ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,8 +73,14 @@ class Policy(abc.ABC):
         health: Mapping[str, PathHealth],
         probes: Mapping[str, ProbeResult],
         current: tuple[str, ...],
+        history: "FaultHistory | None" = None,
     ) -> PolicyDecision:
-        """Choose the next active set given the freshest state."""
+        """Choose the next active set given the freshest state.
+
+        ``history`` (optional) answers ``recent_failures(label, now)``
+        — how many times a candidate has recently failed.  Policies
+        that ignore fault history simply leave it unused.
+        """
 
     @staticmethod
     def _score(label: str, probes: Mapping[str, ProbeResult]) -> float:
@@ -93,7 +113,9 @@ class StaticPolicy(Policy):
         health: Mapping[str, PathHealth],
         probes: Mapping[str, ProbeResult],
         current: tuple[str, ...],
+        history: FaultHistory | None = None,
     ) -> PolicyDecision:
+        """Always the pinned label, regardless of health or probes."""
         return PolicyDecision(active=(self.label,), reason=f"pinned to {self.label}")
 
 
@@ -104,14 +126,37 @@ class BestPathPolicy(Policy):
     or a challenger beats it by more than ``switch_margin`` (relative).
     Healthier states win before throughput is compared, so a DEGRADED
     fast path does not outrank a HEALTHY slightly-slower one.
+
+    ``flap_margin_per_failure`` (default 0: off) makes the margin
+    fault-aware: a challenger that recently failed ``n`` times must
+    clear ``switch_margin + n * flap_margin_per_failure`` instead —
+    recently-flapping paths have to earn the switch with a bigger win.
+    Requires a ``history`` argument to :meth:`decide`; without one the
+    policy behaves exactly as before.
     """
 
     name = "best-path"
 
-    def __init__(self, switch_margin: float = 0.10) -> None:
+    def __init__(
+        self, switch_margin: float = 0.10, flap_margin_per_failure: float = 0.0
+    ) -> None:
         if switch_margin < 0:
             raise ControlError(f"switch margin must be >= 0, got {switch_margin}")
+        if flap_margin_per_failure < 0:
+            raise ControlError(
+                f"flap margin must be >= 0, got {flap_margin_per_failure}"
+            )
         self.switch_margin = switch_margin
+        self.flap_margin_per_failure = flap_margin_per_failure
+
+    def _margin_for(
+        self, label: str, now: float, history: FaultHistory | None
+    ) -> float:
+        """Relative improvement a challenger must clear to win the switch."""
+        margin = self.switch_margin
+        if history is not None and self.flap_margin_per_failure > 0.0:
+            margin += self.flap_margin_per_failure * history.recent_failures(label, now)
+        return margin
 
     def _rank(
         self,
@@ -129,7 +174,13 @@ class BestPathPolicy(Policy):
         health: Mapping[str, PathHealth],
         probes: Mapping[str, ProbeResult],
         current: tuple[str, ...],
+        history: FaultHistory | None = None,
     ) -> PolicyDecision:
+        """Pick the best-ranked usable path, holding below the margin.
+
+        The switch margin grows with the candidate's recent failure
+        count when ``history`` is supplied and flap penalties are on.
+        """
         candidates = sorted(
             (label for label in health if self._usable(label, health)),
             key=lambda label: (*self._rank(label, health, probes), label),
@@ -149,16 +200,17 @@ class BestPathPolicy(Policy):
             same_state = best_rank[0] == cur_rank[0]
             best_score = -best_rank[1]
             cur_score = -cur_rank[1]
+            margin = self._margin_for(best, now, history)
             improvement_too_small = (
                 cur_score > 0
-                and best_score < cur_score * (1.0 + self.switch_margin)
+                and best_score < cur_score * (1.0 + margin)
             )
             if same_state and improvement_too_small:
                 return PolicyDecision(
                     active=(incumbent,),
                     reason=(
                         f"holding {incumbent}: {best} gain below "
-                        f"{self.switch_margin:.0%} margin"
+                        f"{margin:.0%} margin"
                     ),
                 )
         reason = (
@@ -203,7 +255,9 @@ class C45RulePolicy(Policy):
         health: Mapping[str, PathHealth],
         probes: Mapping[str, ProbeResult],
         current: tuple[str, ...],
+        history: FaultHistory | None = None,
     ) -> PolicyDecision:
+        """Apply the paper's Sec. III rule: overlay only on a double cut."""
         direct_probe = probes.get("direct")
         direct_usable = self._usable("direct", health) and "direct" in health
         overlays = [label for label in health if label != "direct"]
@@ -272,7 +326,9 @@ class MptcpSubflowPolicy(Policy):
         health: Mapping[str, PathHealth],
         probes: Mapping[str, ProbeResult],
         current: tuple[str, ...],
+        history: FaultHistory | None = None,
     ) -> PolicyDecision:
+        """Spread over every usable path, best-ranked first."""
         usable = sorted(
             (label for label in health if self._usable(label, health)),
             key=lambda label: (

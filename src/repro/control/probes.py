@@ -85,6 +85,19 @@ class ProbeConfig:
     retry_backoff_s: float = 5.0
     #: Age bound for :meth:`ProbeScheduler.fresh_result` (None = any age).
     stale_after_s: float | None = None
+    #: Adapt the probe cadence to overall path health: tighten toward
+    #: ``min_interval_s`` while any path is unhealthy, relax toward
+    #: ``max_interval_s`` while all are healthy.  Off by default — the
+    #: fixed-interval behaviour every earlier experiment locked in.
+    adaptive: bool = False
+    #: Cadence floor while trouble is visible (defaults to interval/4).
+    min_interval_s: float | None = None
+    #: Cadence ceiling while all paths are healthy (defaults to interval).
+    max_interval_s: float | None = None
+    #: Interval multiplier applied per tick while tightening (< 1).
+    tighten_factor: float = 0.5
+    #: Interval multiplier applied per relax step while healthy (> 1).
+    relax_factor: float = 1.25
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -105,6 +118,39 @@ class ProbeConfig:
             raise ControlError(f"retry backoff must be positive, got {self.retry_backoff_s}")
         if self.stale_after_s is not None and self.stale_after_s <= 0:
             raise ControlError(f"stale_after_s must be positive, got {self.stale_after_s}")
+        if self.min_interval_s is not None and self.min_interval_s <= 0:
+            raise ControlError(
+                f"min_interval_s must be positive, got {self.min_interval_s}"
+            )
+        if self.max_interval_s is not None and self.max_interval_s < (
+            self.min_interval_s if self.min_interval_s is not None else 0.0
+        ):
+            raise ControlError(
+                f"max_interval_s ({self.max_interval_s}) must be >= "
+                f"min_interval_s ({self.min_interval_s})"
+            )
+        if not 0.0 < self.tighten_factor < 1.0:
+            raise ControlError(
+                f"tighten_factor must be in (0, 1), got {self.tighten_factor}"
+            )
+        if self.relax_factor <= 1.0:
+            raise ControlError(f"relax_factor must exceed 1.0, got {self.relax_factor}")
+
+    @property
+    def floor_interval_s(self) -> float:
+        """Adaptive cadence floor (defaults to a quarter of the interval)."""
+        return (
+            self.min_interval_s
+            if self.min_interval_s is not None
+            else self.interval_s / 4.0
+        )
+
+    @property
+    def ceiling_interval_s(self) -> float:
+        """Adaptive cadence ceiling (defaults to the base interval)."""
+        return (
+            self.max_interval_s if self.max_interval_s is not None else self.interval_s
+        )
 
 
 class ProbeScheduler:
@@ -142,6 +188,11 @@ class ProbeScheduler:
         self.probes_timed_out = 0
         self._window_start = 0.0
         self._window_bytes = 0
+        #: Adaptive-cadence state: the interval currently in force.
+        self.current_interval_s = config.interval_s
+        self._last_relax = 0.0
+        self.cadence_tightenings = 0
+        self.cadence_relaxations = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -150,12 +201,53 @@ class ProbeScheduler:
         """Labels whose probe timer has expired at ``now`` (sorted)."""
         return [label for label in self.labels if self._next_due[label] <= now]
 
+    def adapt(self, now: float, all_healthy: bool) -> None:
+        """Adapt the probe cadence to the controller's health view.
+
+        While any path is unhealthy the interval tightens by
+        ``tighten_factor`` per call down to the floor, and every
+        pending probe timer is clamped so no path waits longer than
+        one (new) interval — trouble shortens the time to the next
+        look.  While all paths are healthy the interval relaxes by
+        ``relax_factor`` toward the ceiling, rate-limited to one step
+        per current interval so one quiet tick cannot undo the
+        tightening.  No-op (and draws no randomness) unless
+        :attr:`ProbeConfig.adaptive` is set.
+        """
+        if not self.config.adaptive:
+            return
+        if not all_healthy:
+            self._last_relax = now
+            tightened = max(
+                self.config.floor_interval_s,
+                self.current_interval_s * self.config.tighten_factor,
+            )
+            if tightened < self.current_interval_s:
+                self.current_interval_s = tightened
+                self.cadence_tightenings += 1
+            # Pull in timers scheduled under the old, laxer cadence.
+            horizon = now + self.current_interval_s
+            for label in self.labels:
+                if self._next_due[label] > horizon:
+                    self._next_due[label] = horizon
+            return
+        if now - self._last_relax < self.current_interval_s:
+            return
+        relaxed = min(
+            self.config.ceiling_interval_s,
+            self.current_interval_s * self.config.relax_factor,
+        )
+        self._last_relax = now
+        if relaxed > self.current_interval_s:
+            self.current_interval_s = relaxed
+            self.cadence_relaxations += 1
+
     def _jitter_factor(self) -> float:
         jitter = self.config.jitter_frac
         return 1.0 + float(self.rng.uniform(-jitter, jitter)) if jitter else 1.0
 
     def _reschedule(self, label: str, now: float) -> None:
-        self._next_due[label] = now + self.config.interval_s * self._jitter_factor()
+        self._next_due[label] = now + self.current_interval_s * self._jitter_factor()
 
     def _schedule_next(self, label: str, now: float, ok: bool) -> None:
         """Normal interval after success; bounded backoff after failure.
@@ -177,14 +269,14 @@ class ProbeScheduler:
         self._attempts[label] = attempt + 1
         self.probes_retried += 1
         backoff = self.config.retry_backoff_s * (2.0 ** attempt)
-        delay = min(backoff * self._jitter_factor(), self.config.interval_s)
+        delay = min(backoff * self._jitter_factor(), self.current_interval_s)
         self._next_due[label] = now + delay
 
     def _budget_allows(self, now: float, cost: int) -> bool:
         budget = self.config.budget_bytes_per_interval
         if budget is None:
             return True
-        if now - self._window_start >= self.config.interval_s:
+        if now - self._window_start >= self.current_interval_s:
             self._window_start = now
             self._window_bytes = 0
         return self._window_bytes + cost <= budget

@@ -42,10 +42,18 @@ from repro.control.probes import ProbeConfig, ProbeScheduler
 from repro.core.pathset import PathSet
 from repro.errors import ExperimentError
 from repro.experiments.scenario import World, build_world
-from repro.faults.injector import FaultInjector, ProbeFaultModel
-from repro.faults.scenarios import SCENARIOS, ChaosScenario, build_scenario
+from repro.faults.events import GrayFailure
+from repro.faults.injector import FaultInjector, PathFaultHistory, ProbeFaultModel
+from repro.faults.scenarios import (
+    DEFAULT_SCENARIOS,
+    SCENARIOS,
+    ChaosScenario,
+    build_scenario,
+)
 
 #: The two controller configurations every scenario is replayed under.
+#: ``ChaosConfig.adaptive`` appends a third arm (hardened + adaptive
+#: cadence + gray detection + flap-aware margins).
 ARMS: tuple[str, ...] = ("baseline", "hardened")
 
 
@@ -55,11 +63,21 @@ class ChaosConfig:
 
     seed: int = 7
     scale: str = "small"
-    #: Scenario names to run (empty = every registered scenario).
+    #: Scenario names to run (empty = the classic default suite).
     scenarios: tuple[str, ...] = ()
     duration_s: float = 3_600.0
     tick_s: float = 10.0
     probe_interval_s: float = 60.0
+    #: Add the adaptive arm: adaptive probe cadence, gray-failure
+    #: detection, and fault-history-weighted path selection.  Off by
+    #: default — the two classic arms, byte-identical to earlier runs.
+    adaptive: bool = False
+    #: Adaptive cadence floor (None = probe_interval / 4).
+    probe_floor_s: float | None = None
+    #: Adaptive cadence ceiling (None = probe_interval).
+    probe_ceiling_s: float | None = None
+    #: Extra switch margin per recent failure of a challenger path.
+    flap_margin_per_failure: float = 0.05
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0 or self.tick_s <= 0 or self.probe_interval_s <= 0:
@@ -69,11 +87,22 @@ class ChaosConfig:
             raise ExperimentError(
                 f"unknown chaos scenarios {unknown}; choose from {sorted(SCENARIOS)}"
             )
+        if self.probe_floor_s is not None and self.probe_floor_s <= 0:
+            raise ExperimentError("probe_floor_s must be positive when set")
+        if self.probe_ceiling_s is not None and self.probe_ceiling_s <= 0:
+            raise ExperimentError("probe_ceiling_s must be positive when set")
+        if self.flap_margin_per_failure < 0:
+            raise ExperimentError("flap_margin_per_failure must be >= 0")
 
     @property
     def scenario_names(self) -> tuple[str, ...]:
         """The scenarios this config actually runs."""
-        return self.scenarios if self.scenarios else tuple(SCENARIOS)
+        return self.scenarios if self.scenarios else tuple(DEFAULT_SCENARIOS)
+
+    @property
+    def arms(self) -> tuple[str, ...]:
+        """The controller arms every scenario is replayed under."""
+        return (*ARMS, "adaptive") if self.adaptive else ARMS
 
     def hardened_probes(self) -> ProbeConfig:
         """The hardened arm's probe configuration."""
@@ -83,6 +112,19 @@ class ChaosConfig:
             max_retries=2,
             retry_backoff_s=max(self.probe_interval_s / 6.0, 1.0),
             stale_after_s=2.0 * self.probe_interval_s,
+        )
+
+    def adaptive_probes(self) -> ProbeConfig:
+        """The adaptive arm: hardened probing plus cadence adaptation."""
+        return ProbeConfig(
+            interval_s=self.probe_interval_s,
+            timeout_ms=2_000.0,
+            max_retries=2,
+            retry_backoff_s=max(self.probe_interval_s / 6.0, 1.0),
+            stale_after_s=2.0 * self.probe_interval_s,
+            adaptive=True,
+            min_interval_s=self.probe_floor_s,
+            max_interval_s=self.probe_ceiling_s,
         )
 
     def degradation(self) -> DegradationConfig:
@@ -114,6 +156,10 @@ class ChaosOutcome:
     probes_stale_served: int
     probes_timed_out: int
     quarantines: int
+    #: Mean seconds from a bulk-only gray onset to the first decision
+    #: change (None when the scenario has no such episodes; undetected
+    #: episodes are charged the time to end-of-run).
+    detect_s: float | None = None
 
 
 @dataclass
@@ -142,36 +188,42 @@ class ChaosResult:
             f"chaos study: {self.pair[0]} -> {self.pair[1]}, "
             f"{self.config.duration_s:.0f} s horizon, seed {self.config.seed}"
         ]
+        # The detect column exists only on adaptive runs, so classic
+        # (knobs-off) output stays byte-identical to historical runs.
+        with_detect = self.config.adaptive
         for scenario in self.config.scenario_names:
             rows = []
             for outcome in self.outcomes:
                 if outcome.scenario != scenario:
                     continue
-                rows.append(
-                    (
-                        outcome.strategy,
-                        outcome.arm,
-                        f"{outcome.downtime_s:.0f} s",
-                        f"{outcome.wrong_path_s:.0f} s",
-                        f"{outcome.churn}",
-                        f"{outcome.mean_goodput_mbps:.2f}",
-                        f"{outcome.probe_bytes}",
-                        f"{outcome.quarantines}",
+                row = [
+                    outcome.strategy,
+                    outcome.arm,
+                    f"{outcome.downtime_s:.0f} s",
+                    f"{outcome.wrong_path_s:.0f} s",
+                    f"{outcome.churn}",
+                    f"{outcome.mean_goodput_mbps:.2f}",
+                    f"{outcome.probe_bytes}",
+                    f"{outcome.quarantines}",
+                ]
+                if with_detect:
+                    row.append(
+                        "-" if outcome.detect_s is None else f"{outcome.detect_s:.0f} s"
                     )
-                )
-            table = format_table(
-                [
-                    "strategy",
-                    "arm",
-                    "downtime",
-                    "wrong-path",
-                    "churn",
-                    "goodput Mbps",
-                    "probe bytes",
-                    "quarantines",
-                ],
-                rows,
-            )
+                rows.append(tuple(row))
+            headers = [
+                "strategy",
+                "arm",
+                "downtime",
+                "wrong-path",
+                "churn",
+                "goodput Mbps",
+                "probe bytes",
+                "quarantines",
+            ]
+            if with_detect:
+                headers.append("detect")
+            table = format_table(headers, rows)
             sections.append(f"--- {self.descriptions[scenario]}\n{table}")
         return "\n\n".join(sections)
 
@@ -185,11 +237,18 @@ STRATEGIES: tuple[tuple[str, type[Policy] | None], ...] = (
 )
 
 
-def _policy_for(strategy: str) -> tuple[Policy, bool]:
+def _policy_for(strategy: str, config: ChaosConfig, arm: str) -> tuple[Policy, bool]:
     for name, factory in STRATEGIES:
         if name == strategy:
             if factory is None:
                 return StaticPolicy("direct"), False
+            if arm == "adaptive" and factory is BestPathPolicy:
+                return (
+                    BestPathPolicy(
+                        flap_margin_per_failure=config.flap_margin_per_failure
+                    ),
+                    True,
+                )
             return factory(), True
     raise ExperimentError(f"unknown strategy {strategy!r}")
 
@@ -213,6 +272,41 @@ def _pick_pathset(world: World, cronet, config: ChaosConfig) -> PathSet:
     raise ExperimentError("no pair admits every requested chaos scenario")
 
 
+def _label_links(pathset: PathSet) -> dict[str, tuple[int, ...]]:
+    """Candidate label -> the link ids its resolved path traverses."""
+    mapping = {
+        "direct": tuple(link.link_id for link in pathset.direct.links)
+    }
+    for option in pathset.options:
+        mapping[option.name] = tuple(
+            link.link_id for link in option.concatenated.links
+        )
+    return mapping
+
+
+def _detection_latency(
+    scenario: ChaosScenario, report: ControllerReport, duration_s: float
+) -> float | None:
+    """Mean time from each bulk-only gray onset to the next decision change.
+
+    An episode no decision ever reacted to is charged the remaining
+    run time — an undetected gray failure hurts until the run ends.
+    """
+    onsets = [
+        event.window.start_s
+        for event in scenario.events
+        if isinstance(event, GrayFailure) and event.bulk_only
+    ]
+    if not onsets:
+        return None
+    change_times = [record.at_time for record in report.decisions.changes()]
+    latencies = []
+    for onset in onsets:
+        reaction = next((t for t in change_times if t >= onset), None)
+        latencies.append((reaction if reaction is not None else duration_s) - onset)
+    return sum(latencies) / len(latencies)
+
+
 def _run_one(
     world: World,
     pathset: PathSet,
@@ -220,18 +314,21 @@ def _run_one(
     strategy: str,
     arm: str,
     config: ChaosConfig,
+    injector: FaultInjector | None = None,
 ) -> ChaosOutcome:
     """One controller run from t=0 against an installed scenario."""
     world.internet.set_time(0.0)
-    policy, probed = _policy_for(strategy)
-    hardened = arm == "hardened"
+    policy, probed = _policy_for(strategy, config, arm)
+    hardened = arm in ("hardened", "adaptive")
+    adaptive = arm == "adaptive"
     scheduler = None
     if probed:
-        probe_config = (
-            config.hardened_probes()
-            if hardened
-            else ProbeConfig(interval_s=config.probe_interval_s)
-        )
+        if adaptive:
+            probe_config = config.adaptive_probes()
+        elif hardened:
+            probe_config = config.hardened_probes()
+        else:
+            probe_config = ProbeConfig(interval_s=config.probe_interval_s)
         # Stream names are unique per run: the memoized stream would
         # otherwise carry jitter state from one run into the next.
         stream = f"chaos.{scenario.name}.{arm}.{strategy}"
@@ -245,16 +342,29 @@ def _run_one(
         scheduler = ProbeScheduler(
             pathset, probe_config, world.streams.stream(stream), fault_model
         )
+    health_config = HealthConfig(
+        recovery_hold_s=2 * config.probe_interval_s, gray_detect=adaptive
+    )
+    flap_history = (
+        PathFaultHistory(
+            injector,
+            _label_links(pathset),
+            window_s=config.degradation().flap_window_s,
+        )
+        if adaptive and injector is not None
+        else None
+    )
     controller = OverlayController(
         internet=world.internet,
         pathset=pathset,
         policy=policy,
         scheduler=scheduler,
-        health_config=HealthConfig(recovery_hold_s=2 * config.probe_interval_s),
+        health_config=health_config,
         metrics=MetricsRegistry(),
         tick_s=config.tick_s,
         degradation=config.degradation() if hardened and probed else None,
         track_oracle=True,
+        flap_history=flap_history,
     )
     report: ControllerReport = controller.run(config.duration_s)
     return ChaosOutcome(
@@ -272,6 +382,7 @@ def _run_one(
         probes_stale_served=report.probes_stale_served,
         probes_timed_out=report.probes_timed_out,
         quarantines=report.quarantines,
+        detect_s=_detection_latency(scenario, report, config.duration_s),
     )
 
 
@@ -293,10 +404,12 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
             injector.add(event)
         injector.install()
         try:
-            for arm in ARMS:
+            for arm in config.arms:
                 for strategy, _ in STRATEGIES:
                     result.outcomes.append(
-                        _run_one(world, pathset, scenario, strategy, arm, config)
+                        _run_one(
+                            world, pathset, scenario, strategy, arm, config, injector
+                        )
                     )
         finally:
             injector.uninstall()

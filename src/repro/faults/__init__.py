@@ -20,8 +20,9 @@ from repro.faults.events import (
     RouteFlap,
     Window,
 )
-from repro.faults.injector import FaultInjector, ProbeFaultModel
+from repro.faults.injector import FaultInjector, PathFaultHistory, ProbeFaultModel
 from repro.faults.scenarios import (
+    DEFAULT_SCENARIOS,
     SCENARIOS,
     ChaosScenario,
     build_scenario,
@@ -31,11 +32,13 @@ __all__ = [
     "AsOutage",
     "ChaosScenario",
     "CongestionStorm",
+    "DEFAULT_SCENARIOS",
     "FaultEvent",
     "FaultInjector",
     "GrayFailure",
     "LinkEffect",
     "LinkOutage",
+    "PathFaultHistory",
     "ProbeFaultEvent",
     "ProbeFaultKind",
     "ProbeFaultModel",

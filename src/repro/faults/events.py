@@ -46,6 +46,8 @@ class LinkEffect:
     extra_loss: float = 0.0
     extra_delay_ms: float = 0.0
     util_surge: float = 0.0
+    #: Silent drop applied to bulk traffic only — pings never see it.
+    bulk_extra_loss: float = 0.0
 
     def merge(self, other: "LinkEffect") -> "LinkEffect":
         """Compose two effects: outages dominate, impairments stack."""
@@ -55,6 +57,8 @@ class LinkEffect:
             extra_loss=1.0 - (1.0 - self.extra_loss) * (1.0 - other.extra_loss),
             extra_delay_ms=self.extra_delay_ms + other.extra_delay_ms,
             util_surge=min(self.util_surge + other.util_surge, 1.0),
+            bulk_extra_loss=1.0
+            - (1.0 - self.bulk_extra_loss) * (1.0 - other.bulk_extra_loss),
         )
 
 
@@ -120,6 +124,16 @@ class FaultEvent(abc.ABC):
             f"links={links}"
         )
 
+    def down_windows(self) -> tuple[Window, ...]:
+        """Intervals during which this event holds its links hard-down.
+
+        Impairment-only events (gray failures, storms) return nothing;
+        outages return their window; flapping events return one window
+        per withdraw phase.  This is the raw material of the
+        :meth:`~repro.faults.injector.FaultInjector.flap_count` query.
+        """
+        return ()
+
 
 class LinkOutage(FaultEvent):
     """Hard outage of a set of links over one window."""
@@ -127,9 +141,14 @@ class LinkOutage(FaultEvent):
     kind = "link-outage"
 
     def effect_at(self, t: float) -> LinkEffect:
+        """Hard-failed inside the window, untouched outside."""
         if not self.window.covers(t):
             return NO_EFFECT
         return LinkEffect(failed=True)
+
+    def down_windows(self) -> tuple[Window, ...]:
+        """The outage window itself: the links are down throughout."""
+        return (self.window,)
 
 
 class AsOutage(LinkOutage):
@@ -155,6 +174,7 @@ class AsOutage(LinkOutage):
         return cls(asn=asn, link_ids=link_ids, window=window)
 
     def describe(self) -> str:
+        """One line naming the failed AS and the affected links."""
         return f"{self.kind} AS{self.asn} " + super().describe().removeprefix(f"{self.kind} ")
 
 
@@ -191,19 +211,39 @@ class RouteFlap(FaultEvent):
         return offset < self.period_s * self.duty
 
     def effect_at(self, t: float) -> LinkEffect:
+        """Failed during withdraw phases, clean while announced."""
         if not self.window.covers(t) or not self._withdrawn(t):
             return NO_EFFECT
         return LinkEffect(failed=True)
 
     def phase_at(self, t: float) -> int:
+        """Monotone phase counter; each edge is a BGP event."""
         if not self.window.covers(t):
             return 0
         cycle = int((t - self.window.start_s) // self.period_s)
         return 1 + 2 * cycle + (0 if self._withdrawn(t) else 1)
 
+    def down_windows(self) -> tuple[Window, ...]:
+        """One window per withdraw phase — each is a distinct failure."""
+        windows = []
+        start = self.window.start_s
+        while start < self.window.end_s:
+            down = min(self.period_s * self.duty, self.window.end_s - start)
+            windows.append(Window(start_s=start, duration_s=down))
+            start += self.period_s
+        return tuple(windows)
+
 
 class GrayFailure(FaultEvent):
-    """The link reports up but silently drops/delays traffic."""
+    """The link reports up but silently drops/delays traffic.
+
+    With ``bulk_only=True`` the drop strikes only full-size data
+    segments: pings ride the priority queue and come back clean, so
+    the ping-visible loss never moves.  This is the textbook gray
+    failure — healthy by every lightweight check, broken for the
+    traffic that matters — and the case the control plane's
+    throughput/ping cross-check exists to catch.
+    """
 
     kind = "gray-failure"
 
@@ -213,6 +253,7 @@ class GrayFailure(FaultEvent):
         window: Window,
         drop_fraction: float,
         extra_delay_ms: float = 0.0,
+        bulk_only: bool = False,
     ) -> None:
         super().__init__(link_ids, window)
         if not 0.0 < drop_fraction <= 1.0:
@@ -221,10 +262,17 @@ class GrayFailure(FaultEvent):
             raise ConfigError(f"extra delay must be >= 0, got {extra_delay_ms}")
         self.drop_fraction = drop_fraction
         self.extra_delay_ms = extra_delay_ms
+        self.bulk_only = bulk_only
 
     def effect_at(self, t: float) -> LinkEffect:
+        """Silent drop and delay; bulk-only mode spares the ping channel."""
         if not self.window.covers(t):
             return NO_EFFECT
+        if self.bulk_only:
+            return LinkEffect(
+                bulk_extra_loss=self.drop_fraction,
+                extra_delay_ms=self.extra_delay_ms,
+            )
         return LinkEffect(
             extra_loss=self.drop_fraction, extra_delay_ms=self.extra_delay_ms
         )
@@ -244,6 +292,7 @@ class CongestionStorm(FaultEvent):
         self.surge = surge
 
     def effect_at(self, t: float) -> LinkEffect:
+        """A background-utilization surge while the window covers ``t``."""
         if not self.window.covers(t):
             return NO_EFFECT
         return LinkEffect(util_surge=self.surge)

@@ -27,6 +27,7 @@ from repro.faults.events import (
     ProbeFaultEvent,
     ProbeFaultKind,
     RouteFlap,
+    Window,
 )
 from repro.net.world import Internet
 
@@ -114,6 +115,7 @@ class FaultInjector:
                 extra_loss=effect.extra_loss,
                 extra_delay_ms=effect.extra_delay_ms,
                 util_surge=effect.util_surge,
+                bulk_extra_loss=effect.bulk_extra_loss,
             )
         self._check_flap_edges(t)
 
@@ -131,9 +133,90 @@ class FaultInjector:
             self.internet.invalidate_path_cache()
             self.route_recomputations += 1
 
+    # ------------------------------------------------------------------
+    # fault-history read API (consumed by flap-aware path selection)
+    # ------------------------------------------------------------------
+    def down_windows(
+        self, link_id: int, since: float = 0.0, until: float = float("inf")
+    ) -> tuple["Window", ...]:
+        """Hard-down intervals of ``link_id`` overlapping ``[since, until)``.
+
+        Collects every registered event's :meth:`~repro.faults.events.
+        FaultEvent.down_windows` that names the link, keeps those
+        overlapping the query range, and returns them sorted by start
+        time.  Windows are reported as scheduled — they are a pure
+        function of the event set, independent of the current clock.
+        """
+        if link_id not in self.internet.links_by_id:
+            raise ConfigError(f"down_windows query names unknown link {link_id}")
+        windows = [
+            window
+            for event in self.events
+            if link_id in event.link_ids
+            for window in event.down_windows()
+            if window.end_s > since and window.start_s < until
+        ]
+        return tuple(sorted(windows, key=lambda w: (w.start_s, w.end_s)))
+
+    def flap_count(
+        self, link_id: int, since: float = 0.0, until: float = float("inf")
+    ) -> int:
+        """How many distinct down-windows hit ``link_id`` in the range.
+
+        Each withdraw phase of a :class:`~repro.faults.events.RouteFlap`
+        counts separately, so a flapping link scores much higher than a
+        link with one long outage — exactly the asymmetry a
+        flap-penalising path policy wants.
+        """
+        return len(self.down_windows(link_id, since, until))
+
     def describe(self) -> str:
         """One line per registered event."""
         return "\n".join(event.describe() for event in self.events)
+
+
+class PathFaultHistory:
+    """Label-level fault history: the injector's link view, per path.
+
+    The policy layer thinks in candidate-path labels, not link ids;
+    this adapter maps each label to the links its path traverses and
+    answers "how many times has this path failed recently?".  It
+    satisfies the same ``recent_failures(label, now)`` protocol as
+    :class:`~repro.control.degradation.DegradationGuard`, so a
+    controller can feed the policy either observed (guard) or
+    scheduled (injector) history.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        link_ids_by_label: dict[str, tuple[int, ...]],
+        window_s: float = 900.0,
+    ) -> None:
+        if window_s <= 0:
+            raise ConfigError(f"history window must be positive, got {window_s}")
+        self.injector = injector
+        self.link_ids_by_label = dict(link_ids_by_label)
+        self.window_s = window_s
+
+    def recent_failures(self, label: str, now: float) -> int:
+        """Down-windows that *started* within ``window_s`` before ``now``.
+
+        Unknown labels report zero — a candidate the injector never
+        touched has no history, which must not be an error.
+        """
+        link_ids = self.link_ids_by_label.get(label)
+        if not link_ids:
+            return 0
+        since = now - self.window_s
+        count = 0
+        for link_id in link_ids:
+            count += sum(
+                1
+                for window in self.injector.down_windows(link_id, since, now)
+                if window.start_s >= since and window.start_s < now
+            )
+        return count
 
 
 class ProbeFaultModel:

@@ -285,8 +285,51 @@ def build_probe_loss(
     )
 
 
-#: Scenario name -> builder(internet, pathset, horizon_s).
-SCENARIOS = {
+def build_gray_detect(
+    internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """Episodic *bulk-only* gray failures on the preferred overlay.
+
+    The direct path is visibly gray for the whole run (parking the
+    controller on the best overlay and keeping at least one path
+    unhealthy, so an adaptive prober stays at its cadence floor).
+    Four times during the run the overlay's unique link silently drops
+    70 % of bulk traffic while answering pings cleanly — invisible to
+    a ping-only health check, obvious to the throughput/ping
+    cross-check.  This is the showcase the ``--adaptive`` chaos arm is
+    measured on.
+    """
+    gray = GrayFailure(
+        link_ids=(direct_only_link(pathset),),
+        window=Window(start_s=0.0, duration_s=horizon_s),
+        drop_fraction=0.35,
+        extra_delay_ms=40.0,
+    )
+    best = best_overlay_name(pathset)
+    overlay_link = overlay_only_link(pathset, best)
+    episodes = [
+        GrayFailure(
+            link_ids=(overlay_link,),
+            window=_w(horizon_s, start_frac, 0.10),
+            drop_fraction=0.70,
+            bulk_only=True,
+        )
+        for start_frac in (0.20, 0.40, 0.60, 0.80)
+    ]
+    return ChaosScenario(
+        name="gray-detect",
+        description=(
+            f"overlay {best} drops 70% of bulk traffic (pings clean) in four "
+            f"episodes; direct visibly gray"
+        ),
+        events=[gray, *episodes],
+    )
+
+
+#: The classic suite: scenario name -> builder(internet, pathset,
+#: horizon_s).  ``repro chaos`` with no ``--scenario`` runs exactly
+#: these, keeping historical outputs reproducible.
+DEFAULT_SCENARIOS = {
     "as-outage": build_as_outage,
     "route-flap": build_route_flap,
     "gray-direct": build_gray_direct,
@@ -295,6 +338,13 @@ SCENARIOS = {
     "stale-probes": build_stale_probes,
     "flapping-overlay": build_flapping_overlay,
     "probe-loss": build_probe_loss,
+}
+
+#: Every known scenario, including the gray-failure detection
+#: showcase (``--scenario all`` / ``--scenario gray-detect``).
+SCENARIOS = {
+    **DEFAULT_SCENARIOS,
+    "gray-detect": build_gray_detect,
 }
 
 

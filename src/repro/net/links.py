@@ -89,6 +89,11 @@ class Link:
     extra_delay_ms: float = field(default=0.0)
     #: Congestion-storm surge added to background utilization.
     util_surge: float = field(default=0.0)
+    #: Silent drop applied to *bulk* traffic only: small control packets
+    #: (pings) ride the priority queue and never see it.  This is the
+    #: differential-observability gray failure — the link answers pings
+    #: while dropping full-size data segments.
+    bulk_extra_loss: float = field(default=0.0)
 
     def __post_init__(self) -> None:
         check_positive(self.capacity_mbps, "capacity_mbps")
@@ -145,6 +150,17 @@ class Link:
         # Gray-failure drops are independent of congestion drops.
         return min(1.0 - (1.0 - clean) * (1.0 - self.extra_loss), 1.0)
 
+    def bulk_loss(self, t: float) -> float:
+        """Loss fraction full-size data segments see at time ``t``.
+
+        Equals :meth:`loss` plus the bulk-only silent drop (independent
+        processes).  Ping probes read :meth:`loss`; transfers pay this.
+        """
+        visible = self.loss(t)
+        if self.bulk_extra_loss <= 0.0:
+            return visible
+        return min(1.0 - (1.0 - visible) * (1.0 - self.bulk_extra_loss), 1.0)
+
     def available_bw_mbps(self, t: float) -> float:
         """Bandwidth a new persistent flow can expect to claim at ``t``.
 
@@ -172,24 +188,33 @@ class Link:
     @property
     def impaired(self) -> bool:
         """True while a gray failure or congestion surge is in effect."""
-        return self.extra_loss > 0.0 or self.extra_delay_ms > 0.0 or self.util_surge > 0.0
+        return (
+            self.extra_loss > 0.0
+            or self.extra_delay_ms > 0.0
+            or self.util_surge > 0.0
+            or self.bulk_extra_loss > 0.0
+        )
 
     def impair(
         self,
         extra_loss: float = 0.0,
         extra_delay_ms: float = 0.0,
         util_surge: float = 0.0,
+        bulk_extra_loss: float = 0.0,
     ) -> None:
         """Set the link's impairment (replaces any previous one)."""
         check_fraction(extra_loss, "extra_loss")
         check_fraction(util_surge, "util_surge")
         check_non_negative(extra_delay_ms, "extra_delay_ms")
+        check_fraction(bulk_extra_loss, "bulk_extra_loss")
         self.extra_loss = extra_loss
         self.extra_delay_ms = extra_delay_ms
         self.util_surge = util_surge
+        self.bulk_extra_loss = bulk_extra_loss
 
     def clear_impairment(self) -> None:
         """Remove any gray-failure/storm impairment."""
         self.extra_loss = 0.0
         self.extra_delay_ms = 0.0
         self.util_surge = 0.0
+        self.bulk_extra_loss = 0.0

@@ -21,18 +21,30 @@ from repro.net.links import Link
 
 @dataclass(frozen=True, slots=True)
 class PathMetrics:
-    """Aggregate metrics of a path evaluated at one time instant."""
+    """Aggregate metrics of a path evaluated at one time instant.
+
+    ``loss`` is what small control packets (pings) observe;
+    ``bulk_loss`` is what full-size data segments pay.  The two differ
+    only under a bulk-only gray failure — the differential
+    observability the control plane's cross-check exploits.  When not
+    given, ``bulk_loss`` defaults to ``loss``.
+    """
 
     rtt_ms: float
     loss: float
     available_bw_mbps: float
     capacity_mbps: float
+    bulk_loss: float | None = None
 
     def __post_init__(self) -> None:
         if self.rtt_ms < 0:
             raise RoutingError(f"negative RTT: {self.rtt_ms}")
         if not 0.0 <= self.loss <= 1.0:
             raise RoutingError(f"loss out of range: {self.loss}")
+        if self.bulk_loss is None:
+            object.__setattr__(self, "bulk_loss", self.loss)
+        elif not 0.0 <= self.bulk_loss <= 1.0:
+            raise RoutingError(f"bulk loss out of range: {self.bulk_loss}")
 
 
 @dataclass(frozen=True)
@@ -68,11 +80,13 @@ class RouterPath:
         """Aggregate path metrics at absolute time ``t`` (seconds)."""
         one_way = 0.0
         survive = 1.0
+        survive_bulk = 1.0
         avail = float("inf")
         capacity = float("inf")
         for link in self.links:
             one_way += link.one_way_delay_ms(t)
             survive *= 1.0 - link.loss(t)
+            survive_bulk *= 1.0 - link.bulk_loss(t)
             avail = min(avail, link.available_bw_mbps(t))
             capacity = min(capacity, link.capacity_mbps)
         return PathMetrics(
@@ -80,6 +94,7 @@ class RouterPath:
             loss=1.0 - survive,
             available_bw_mbps=avail,
             capacity_mbps=capacity,
+            bulk_loss=1.0 - survive_bulk,
         )
 
     def rtt_ms(self, t: float) -> float:

@@ -197,7 +197,8 @@ class FluidSimulator:
                 util = hop.link.utilization(t)
                 background[hop.key] = util * hop.link.capacity_mbps
                 capacity[hop.key] = hop.link.capacity_mbps
-                exo_loss[hop.key] = hop.link.loss(t)
+                # Fluid flows model bulk data: they pay any silent bulk drop.
+                exo_loss[hop.key] = hop.link.bulk_loss(t)
         return background, capacity, exo_loss
 
     def _tick(self, elapsed: float, background, capacity, exo_loss) -> None:

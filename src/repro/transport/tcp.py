@@ -55,7 +55,8 @@ class TcpConnection:
             metrics = self.path.metrics(t)
             rates.append(steady_state_throughput_mbps(metrics, self.params))
             rtts.append(metrics.rtt_ms)
-            losses.append(metrics.loss)
+            # Retransmissions are data segments: they pay the bulk loss.
+            losses.append(metrics.bulk_loss)
         rate = sum(rates) / samples
         avg_rtt = sum(rtts) / samples
         avg_loss = sum(losses) / samples
@@ -92,7 +93,7 @@ class TcpConnection:
         return FlowStats(
             duration_s=duration,
             bytes_acked=size_bytes,
-            bytes_retransmitted=int(size_bytes * metrics.loss),
+            bytes_retransmitted=int(size_bytes * metrics.bulk_loss),
             avg_rtt_ms=metrics.rtt_ms,
             throughput_mbps=effective_rate,
         )

@@ -57,16 +57,23 @@ class TcpParams:
 
 
 def steady_state_throughput_mbps(metrics: PathMetrics, params: TcpParams) -> float:
-    """Steady-state throughput of one TCP flow over a path snapshot."""
-    if metrics.loss >= 1.0:
+    """Steady-state throughput of one TCP flow over a path snapshot.
+
+    Data segments pay ``metrics.bulk_loss`` (equal to the ping-visible
+    ``metrics.loss`` except under a bulk-only gray failure), so a link
+    that answers pings while silently dropping bulk traffic collapses
+    the Mathis limit without moving the ping metrics at all.
+    """
+    loss = metrics.bulk_loss if metrics.bulk_loss is not None else metrics.loss
+    if loss >= 1.0:
         return 0.0
     rtt_s = metrics.rtt_ms / 1_000.0
     if rtt_s <= 0:
         raise TransportError(f"RTT must be positive, got {metrics.rtt_ms} ms")
     rwnd_limit = params.rwnd_bytes * 8 / rtt_s / 1e6
     limits = [metrics.available_bw_mbps, metrics.capacity_mbps, rwnd_limit]
-    if metrics.loss > 0.0:
-        limits.append(mathis_throughput_mbps(params.mss_bytes, metrics.rtt_ms, metrics.loss))
+    if loss > 0.0:
+        limits.append(mathis_throughput_mbps(params.mss_bytes, metrics.rtt_ms, loss))
     return max(min(limits) * params.efficiency, MIN_THROUGHPUT_MBPS)
 
 

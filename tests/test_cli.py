@@ -111,3 +111,39 @@ class TestCli:
         data = json.loads(target.read_text())
         assert "outcomes" in data
         assert "failed_links" in data
+
+
+class TestChaosAdaptiveCli:
+    def test_adaptive_flag(self, capsys):
+        assert main(
+            [
+                "chaos",
+                "--seed", "3",
+                "--scenario", "gray-detect",
+                "--fast",
+                "--adaptive",
+                "--probe-floor", "5",
+                "--probe-ceiling", "60",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "detect" in out
+
+    def test_list_scenarios_includes_gray_detect(self, capsys):
+        assert main(["chaos", "--list-scenarios"]) == 0
+        assert "gray-detect" in capsys.readouterr().out
+
+    def test_default_suite_excludes_gray_detect(self, capsys):
+        # Knobs off, the classic eight run — gray-detect only joins via
+        # --scenario gray-detect or --scenario all.
+        assert main(["chaos", "--seed", "3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "gray-detect" not in out
+        assert "as-outage" in out
+
+    def test_scenario_all_includes_gray_detect(self, capsys):
+        assert main(
+            ["chaos", "--seed", "3", "--scenario", "all", "--fast"]
+        ) == 0
+        assert "gray-detect" in capsys.readouterr().out

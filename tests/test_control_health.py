@@ -166,3 +166,102 @@ class TestConfigValidation:
     def test_bad_counts(self):
         with pytest.raises(ControlError):
             HealthConfig(fail_after=0)
+
+
+class TestGrayDetection:
+    """The throughput/ping cross-check behind the GRAY state."""
+
+    def gray_machine(self, **overrides) -> PathHealth:
+        defaults = dict(
+            degrade_after=2, fail_after=2, recover_after=2, recovery_hold_s=30.0,
+            gray_detect=True, gray_throughput_factor=0.5, gray_after=2,
+        )
+        defaults.update(overrides)
+        return PathHealth(label="p", config=HealthConfig(**defaults))
+
+    def tput_probe(self, at: float, mbps: float, **kw) -> ProbeResult:
+        base = dict(label="p", at=at)
+        base.update(kw)
+        result = probe(**base)
+        return ProbeResult(
+            label=result.label,
+            at_time=result.at_time,
+            ok=result.ok,
+            rtt_ms=result.rtt_ms,
+            loss=result.loss,
+            throughput_mbps=mbps,
+            bytes_cost=result.bytes_cost,
+        )
+
+    def _learned(self, m: PathHealth) -> PathHealth:
+        # Learn ~10 Mbps / ~100 ms baselines on good probes.
+        for t in range(3):
+            m.observe(self.tput_probe(float(t), 10.0))
+        assert m.baseline_throughput_mbps == pytest.approx(10.0)
+        return m
+
+    def test_clean_pings_collapsed_throughput_goes_gray(self):
+        m = self._learned(self.gray_machine())
+        m.observe(self.tput_probe(10.0, 2.0))  # pings clean, tput -80%
+        transition = m.observe(self.tput_probe(20.0, 2.0))
+        assert transition is not None and transition.new is PathState.GRAY
+        assert m.usable  # GRAY may still carry traffic as a last resort
+
+    def test_single_gray_observation_is_noise(self):
+        m = self._learned(self.gray_machine())
+        m.observe(self.tput_probe(10.0, 2.0))
+        assert m.state is PathState.HEALTHY
+
+    def test_visible_loss_wins_over_gray(self):
+        # A visibly lossy path is DEGRADED, not GRAY, however bad its
+        # throughput: ping-visible evidence takes precedence.
+        m = self._learned(self.gray_machine())
+        m.observe(self.tput_probe(10.0, 2.0, loss=0.05))
+        m.observe(self.tput_probe(20.0, 2.0, loss=0.05))
+        assert m.state is PathState.DEGRADED
+
+    def test_gray_recovers_without_hold(self):
+        m = self._learned(self.gray_machine(recovery_hold_s=1_000.0))
+        m.observe(self.tput_probe(10.0, 2.0))
+        m.observe(self.tput_probe(20.0, 2.0))
+        assert m.state is PathState.GRAY
+        m.observe(self.tput_probe(21.0, 10.0))
+        transition = m.observe(self.tput_probe(22.0, 10.0))
+        # Straight back to HEALTHY seconds later, hold notwithstanding:
+        # the throughput probe is direct evidence of recovery.
+        assert transition is not None and transition.new is PathState.HEALTHY
+
+    def test_gray_can_fail_outright(self):
+        m = self._learned(self.gray_machine())
+        m.observe(self.tput_probe(10.0, 2.0))
+        m.observe(self.tput_probe(20.0, 2.0))
+        assert m.state is PathState.GRAY
+        m.observe(self.tput_probe(30.0, 0.0, ok=False))
+        m.observe(self.tput_probe(40.0, 0.0, ok=False))
+        assert m.state is PathState.FAILED
+
+    def test_gray_ranks_between_degraded_and_failed(self):
+        from repro.control.health import STATE_RANK
+
+        assert (
+            STATE_RANK[PathState.DEGRADED]
+            < STATE_RANK[PathState.GRAY]
+            < STATE_RANK[PathState.FAILED]
+        )
+
+    def test_detection_off_by_default(self):
+        # Knobs off: the same probe sequence never leaves HEALTHY.
+        m = machine()
+        for t in range(3):
+            m.observe(self.tput_probe(float(t), 10.0))
+        m.observe(self.tput_probe(10.0, 2.0))
+        m.observe(self.tput_probe(20.0, 2.0))
+        m.observe(self.tput_probe(30.0, 2.0))
+        assert m.state is PathState.HEALTHY
+        assert not m.transitions
+
+    def test_gray_config_validated(self):
+        with pytest.raises(ControlError):
+            HealthConfig(gray_throughput_factor=1.0)
+        with pytest.raises(ControlError):
+            HealthConfig(gray_after=0)

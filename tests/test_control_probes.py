@@ -134,3 +134,84 @@ class TestConfigValidation:
     def test_bad_budget_rejected(self):
         with pytest.raises(ControlError):
             ProbeConfig(budget_bytes_per_interval=0)
+
+
+class TestAdaptiveCadence:
+    def adaptive(self, pathset, **overrides) -> ProbeScheduler:
+        defaults = dict(
+            interval_s=60.0, jitter_frac=0.0, adaptive=True,
+            min_interval_s=15.0, max_interval_s=60.0, tighten_factor=0.5,
+            relax_factor=2.0,
+        )
+        defaults.update(overrides)
+        return scheduler(pathset, **defaults)
+
+    def test_tightens_toward_floor_while_unhealthy(self, pathset):
+        sched = self.adaptive(pathset)
+        sched.adapt(0.0, all_healthy=False)
+        assert sched.current_interval_s == pytest.approx(30.0)
+        sched.adapt(10.0, all_healthy=False)
+        assert sched.current_interval_s == pytest.approx(15.0)
+        sched.adapt(20.0, all_healthy=False)  # already at the floor
+        assert sched.current_interval_s == pytest.approx(15.0)
+        assert sched.cadence_tightenings == 2
+
+    def test_tighten_pulls_in_pending_timers(self, pathset):
+        sched = self.adaptive(pathset)
+        sched.probe("direct", 0.0)
+        assert sched._next_due["direct"] == pytest.approx(60.0)
+        sched.adapt(0.0, all_healthy=False)
+        # No probe waits longer than one new interval.
+        assert sched._next_due["direct"] <= 0.0 + sched.current_interval_s
+
+    def test_relax_is_rate_limited(self, pathset):
+        sched = self.adaptive(pathset)
+        for t in (0.0, 10.0):
+            sched.adapt(t, all_healthy=False)  # down to the 15 s floor
+        sched.adapt(11.0, all_healthy=True)  # too soon after trouble
+        assert sched.current_interval_s == pytest.approx(15.0)
+        sched.adapt(30.0, all_healthy=True)  # one interval later: relax
+        assert sched.current_interval_s == pytest.approx(30.0)
+        sched.adapt(31.0, all_healthy=True)  # rate limit again
+        assert sched.current_interval_s == pytest.approx(30.0)
+        sched.adapt(65.0, all_healthy=True)
+        assert sched.current_interval_s == pytest.approx(60.0)
+        assert sched.cadence_relaxations == 2
+
+    def test_ceiling_caps_relaxation(self, pathset):
+        sched = self.adaptive(pathset)
+        sched.adapt(0.0, all_healthy=False)
+        sched.adapt(100.0, all_healthy=True)
+        sched.adapt(200.0, all_healthy=True)
+        sched.adapt(300.0, all_healthy=True)
+        assert sched.current_interval_s == pytest.approx(60.0)
+
+    def test_noop_when_adaptive_off(self, pathset):
+        sched = scheduler(pathset, interval_s=60.0, jitter_frac=0.0)
+        sched.probe("direct", 0.0)
+        before = dict(sched._next_due)
+        sched.adapt(0.0, all_healthy=False)
+        assert sched.current_interval_s == pytest.approx(60.0)
+        assert sched._next_due == before
+
+    def test_reschedule_uses_current_interval(self, pathset):
+        sched = self.adaptive(pathset)
+        sched.adapt(0.0, all_healthy=False)
+        sched.adapt(10.0, all_healthy=False)  # floor: 15 s
+        sched.probe("direct", 20.0)
+        assert sched._next_due["direct"] == pytest.approx(35.0)
+
+    def test_adaptive_config_validated(self):
+        with pytest.raises(ControlError):
+            ProbeConfig(adaptive=True, min_interval_s=0.0)
+        with pytest.raises(ControlError):
+            ProbeConfig(adaptive=True, min_interval_s=30.0, max_interval_s=10.0)
+        with pytest.raises(ControlError):
+            ProbeConfig(adaptive=True, tighten_factor=1.0)
+        with pytest.raises(ControlError):
+            ProbeConfig(adaptive=True, relax_factor=1.0)
+
+    def test_defaults_derive_from_interval(self):
+        config = ProbeConfig(interval_s=60.0, adaptive=True)
+        assert config.floor_interval_s == pytest.approx(15.0)
+        assert config.ceiling_interval_s == pytest.approx(60.0)

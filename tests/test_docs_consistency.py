@@ -1,0 +1,27 @@
+"""The docs-consistency gate, run as part of tier-1.
+
+``scripts/check_docs.py`` asserts that every ``repro`` CLI verb is
+documented in README.md and that every ``DESIGN.md §N`` reference in
+the docs resolves to a real section.  Running it from the test suite
+means docs rot fails locally, not just in CI.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocsConsistency:
+    def test_checker_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "docs-consistency OK" in result.stdout

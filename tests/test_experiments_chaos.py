@@ -78,3 +78,55 @@ class TestReporting:
     def test_outcome_lookup_rejects_unknown(self, showcase):
         with pytest.raises(ExperimentError):
             showcase.outcome("probe-blackout", "controller-best", "nope")
+
+
+class TestAdaptiveArm:
+    @pytest.fixture(scope="class")
+    def gray_detect(self):
+        """The gray-failure showcase with the adaptive arm enabled."""
+        return run_chaos(
+            ChaosConfig(
+                scenarios=("gray-detect",), adaptive=True, duration_s=900.0,
+                tick_s=5.0, probe_interval_s=15.0,
+            )
+        )
+
+    def test_adaptive_off_by_default(self):
+        config = ChaosConfig(scenarios=("probe-loss",))
+        assert config.arms == ("baseline", "hardened")
+        assert "gray-detect" not in config.scenario_names
+
+    def test_adaptive_adds_third_arm(self, gray_detect):
+        assert gray_detect.config.arms == ("baseline", "hardened", "adaptive")
+        arms = {outcome.arm for outcome in gray_detect.outcomes}
+        assert arms == {"baseline", "hardened", "adaptive"}
+
+    def test_adaptive_strictly_reduces_wrong_path_time(self, gray_detect):
+        # The whole point of the PR: with bulk-only gray episodes on the
+        # preferred overlay, the ping-only arms keep riding the silently
+        # broken path while the throughput/ping cross-check bails out.
+        baseline = gray_detect.outcome("gray-detect", "controller-best", "baseline")
+        adaptive = gray_detect.outcome("gray-detect", "controller-best", "adaptive")
+        assert baseline.wrong_path_s > 0.0
+        assert adaptive.wrong_path_s < baseline.wrong_path_s
+
+    def test_detection_latency_reported_for_adaptive_run(self, gray_detect):
+        adaptive = gray_detect.outcome("gray-detect", "controller-best", "adaptive")
+        assert adaptive.detect_s is not None
+        assert 0.0 < adaptive.detect_s < 900.0
+
+    def test_detect_column_only_when_adaptive(self, gray_detect):
+        assert "detect" in gray_detect.render()
+        classic = run_chaos(
+            ChaosConfig(
+                scenarios=("probe-loss",), duration_s=900.0, tick_s=15.0,
+                probe_interval_s=30.0,
+            )
+        )
+        assert "detect" not in classic.render()
+
+    def test_probe_bounds_validated(self):
+        with pytest.raises(ExperimentError):
+            ChaosConfig(scenarios=("gray-detect",), probe_floor_s=0.0)
+        with pytest.raises(ExperimentError):
+            ChaosConfig(scenarios=("gray-detect",), probe_ceiling_s=-1.0)

@@ -159,3 +159,57 @@ class TestProbeFaultEvent:
             ProbeFaultEvent(
                 window=Window(0.0, 1.0), fault=ProbeFaultKind.LOST, probability=0.0
             )
+
+
+class TestBulkExtraLoss:
+    def test_effects_compose_multiplicatively(self):
+        merged = LinkEffect(bulk_extra_loss=0.5).merge(
+            LinkEffect(bulk_extra_loss=0.5)
+        )
+        assert merged.bulk_extra_loss == pytest.approx(0.75)
+
+    def test_bulk_only_gray_effect(self):
+        event = GrayFailure(
+            link_ids=(1,),
+            window=Window(0.0, 100.0),
+            drop_fraction=0.4,
+            extra_delay_ms=25.0,
+            bulk_only=True,
+        )
+        effect = event.effect_at(50.0)
+        assert effect.extra_loss == 0.0
+        assert effect.bulk_extra_loss == pytest.approx(0.4)
+        assert effect.extra_delay_ms == pytest.approx(25.0)
+
+    def test_visible_gray_leaves_bulk_channel_alone(self):
+        event = GrayFailure(
+            link_ids=(1,), window=Window(0.0, 100.0), drop_fraction=0.4
+        )
+        effect = event.effect_at(50.0)
+        assert effect.extra_loss == pytest.approx(0.4)
+        assert effect.bulk_extra_loss == 0.0
+
+
+class TestDownWindows:
+    def test_outage_reports_its_window(self):
+        window = Window(100.0, 50.0)
+        event = LinkOutage(link_ids=(1,), window=window)
+        assert event.down_windows() == (window,)
+
+    def test_route_flap_reports_each_withdraw_phase(self):
+        event = RouteFlap(
+            link_ids=(1,), window=Window(100.0, 100.0), period_s=30.0, duty=0.5
+        )
+        windows = event.down_windows()
+        assert [w.start_s for w in windows] == [100.0, 130.0, 160.0, 190.0]
+        assert [w.duration_s for w in windows[:3]] == [15.0, 15.0, 15.0]
+        # Final phase is truncated at the event window's end.
+        assert windows[-1].duration_s == pytest.approx(10.0)
+
+    def test_soft_events_report_none(self):
+        gray = GrayFailure(
+            link_ids=(1,), window=Window(0.0, 100.0), drop_fraction=0.5
+        )
+        storm = CongestionStorm(link_ids=(1,), window=Window(0.0, 100.0), surge=0.3)
+        assert gray.down_windows() == ()
+        assert storm.down_windows() == ()

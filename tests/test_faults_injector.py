@@ -159,3 +159,98 @@ class TestProbeFaultModel:
         assert model.outcome("direct", 200.0) is None
         assert model.struck["lost"] == 1
         assert model.struck["stale"] == 1
+
+
+class TestBulkOnlyGray:
+    def test_bulk_only_gray_spares_pings(self, small_internet):
+        link = any_link(small_internet)
+        clean_loss = link.loss(120.0)
+        injector = FaultInjector(small_internet)
+        injector.add(
+            GrayFailure(
+                link_ids=(link.link_id,), window=Window(100.0, 50.0),
+                drop_fraction=0.4, bulk_only=True,
+            )
+        )
+        injector.install()
+        small_internet.set_time(120.0)
+        assert not link.failed
+        # Pings see nothing; bulk segments pay the silent drop.
+        assert link.loss(120.0) == pytest.approx(clean_loss)
+        assert link.bulk_loss(120.0) > link.loss(120.0)
+        small_internet.set_time(200.0)
+        assert link.bulk_loss(200.0) == link.loss(200.0)
+        injector.uninstall()
+
+
+class TestFaultHistoryQueries:
+    def test_down_windows_merges_outages_and_flaps(self, small_internet):
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(LinkOutage(link_ids=(link.link_id,), window=Window(500.0, 50.0)))
+        injector.add(
+            RouteFlap(
+                link_ids=(link.link_id,), window=Window(100.0, 100.0), period_s=20.0
+            )
+        )
+        windows = injector.down_windows(link.link_id)
+        # 5 withdraw phases of the flap plus the outage, sorted by start.
+        assert len(windows) == 6
+        assert [w.start_s for w in windows[:5]] == [100.0, 120.0, 140.0, 160.0, 180.0]
+        assert windows[-1].start_s == 500.0
+
+    def test_down_windows_range_filter(self, small_internet):
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(
+            RouteFlap(
+                link_ids=(link.link_id,), window=Window(100.0, 100.0), period_s=20.0
+            )
+        )
+        assert injector.flap_count(link.link_id) == 5
+        assert injector.flap_count(link.link_id, since=150.0) == 2
+        assert injector.flap_count(link.link_id, since=150.0, until=170.0) == 1
+        assert injector.flap_count(link.link_id, since=300.0) == 0
+
+    def test_gray_failures_have_no_down_windows(self, small_internet):
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(
+            GrayFailure(
+                link_ids=(link.link_id,), window=Window(0.0, 100.0), drop_fraction=0.5
+            )
+        )
+        assert injector.down_windows(link.link_id) == ()
+        assert injector.flap_count(link.link_id) == 0
+
+    def test_unknown_link_query_rejected(self, small_internet):
+        with pytest.raises(ConfigError):
+            FaultInjector(small_internet).down_windows(999_999)
+
+
+class TestPathFaultHistory:
+    def test_counts_per_label_within_window(self, small_internet):
+        from repro.faults.injector import PathFaultHistory
+
+        link = any_link(small_internet)
+        injector = FaultInjector(small_internet)
+        injector.add(
+            RouteFlap(
+                link_ids=(link.link_id,), window=Window(100.0, 100.0), period_s=20.0
+            )
+        )
+        history = PathFaultHistory(
+            injector, {"flappy": (link.link_id,)}, window_s=150.0
+        )
+        # At t=250 the 150 s window covers the flap onsets at 100..180.
+        assert history.recent_failures("flappy", 250.0) == 5
+        # At t=500 every onset has aged out of the window.
+        assert history.recent_failures("flappy", 500.0) == 0
+        # Labels the injector never touched have no history.
+        assert history.recent_failures("unknown", 250.0) == 0
+
+    def test_window_validated(self, small_internet):
+        from repro.faults.injector import PathFaultHistory
+
+        with pytest.raises(ConfigError):
+            PathFaultHistory(FaultInjector(small_internet), {}, window_s=0.0)
