@@ -25,16 +25,31 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
+def _collect_verbs(parser: argparse.ArgumentParser, prefix: str = "") -> list[str]:
+    """Subcommand names, recursing into nested subparsers.
+
+    A nested verb reads as its full invocation path ('exec manifest'),
+    so the README check demands the literal runnable spelling.
+    """
+    verbs: list[str] = []
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                full = f"{prefix}{name}"
+                verbs.append(full)
+                verbs.extend(_collect_verbs(sub, prefix=f"{full} "))
+    return verbs
+
+
 def cli_verbs() -> list[str]:
     """The repro CLI's subcommand names, read from the live parser."""
     sys.path.insert(0, str(ROOT / "src"))
     from repro.cli import _build_parser
 
-    parser = _build_parser()
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            return sorted(action.choices)
-    raise AssertionError("repro CLI has no subparsers — parser layout changed?")
+    verbs = _collect_verbs(_build_parser())
+    if not verbs:
+        raise AssertionError("repro CLI has no subparsers — parser layout changed?")
+    return sorted(verbs)
 
 
 def design_sections(design_text: str) -> set[str]:

@@ -53,6 +53,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     _add_common(run)
     run.add_argument("--out", help="also dump the result as JSON to this path")
+    _add_exec(run)
 
     control = sub.add_parser(
         "control", help="run the overlay control plane failover study"
@@ -107,9 +108,21 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--adaptive", action="store_true",
         help=(
-            "add the adaptive arm: health-driven probe cadence, gray-failure "
-            "detection, fault-history-weighted switching"
+            "add the adaptive arm with every knob on: health-driven probe "
+            "cadence, gray-failure detection, fault-history-weighted switching"
         ),
+    )
+    chaos.add_argument(
+        "--adaptive-cadence", action="store_true",
+        help="ablation: adaptive arm with only the health-driven probe cadence",
+    )
+    chaos.add_argument(
+        "--gray-detect", action="store_true",
+        help="ablation: adaptive arm with only gray-failure detection",
+    )
+    chaos.add_argument(
+        "--flap-margin", action="store_true",
+        help="ablation: adaptive arm with only fault-history switch margins",
     )
     chaos.add_argument(
         "--probe-floor", type=float, default=None, metavar="SECONDS",
@@ -134,6 +147,18 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--mptcp", action="store_true", help="include the (slow) MPTCP sections"
     )
+    _add_exec(report)
+
+    executor = sub.add_parser(
+        "exec", help="inspect sharded-execution state (manifests, result cache)"
+    )
+    exec_sub = executor.add_subparsers(dest="exec_command", required=True)
+    manifest = exec_sub.add_parser("manifest", help="render a run manifest JSON")
+    manifest.add_argument("path", help="manifest file written by a sharded run")
+    cache = exec_sub.add_parser("cache", help="show result-cache statistics")
+    cache.add_argument(
+        "--cache-dir", default=".repro-cache", help="result cache directory"
+    )
     return parser
 
 
@@ -142,6 +167,39 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", choices=["small", "paper"], default="small",
         help="small runs in seconds; paper matches the study's sampling plan",
+    )
+
+
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "run shardable experiments on the repro.exec pool with N worker "
+            "processes (results are byte-identical at any N)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve already-cached shards from the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="result cache directory (default: .repro-cache)",
+    )
+
+
+def _make_runner(args: argparse.Namespace):
+    """An ExecRunner when exec flags were given, else None (serial path)."""
+    if args.workers is None and not args.resume:
+        return None
+    from repro.exec.runner import ExecConfig, ExecRunner
+
+    return ExecRunner(
+        ExecConfig(
+            workers=1 if args.workers is None else args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
     )
 
 
@@ -224,6 +282,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         tick_s=tick,
         probe_interval_s=interval,
         adaptive=args.adaptive,
+        adaptive_cadence=args.adaptive_cadence,
+        gray_detect=args.gray_detect,
+        flap_margin=args.flap_margin,
         probe_floor_s=args.probe_floor,
         probe_ceiling_s=args.probe_ceiling,
     )
@@ -237,8 +298,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_one(name: str, args: argparse.Namespace):
-    """Run one experiment; returns the result object."""
+def _run_one(name: str, args: argparse.Namespace, runner=None):
+    """Run one experiment; returns the result object.
+
+    With ``runner`` (an :class:`~repro.exec.runner.ExecRunner`), the
+    shardable campaigns — the controlled study, the longitudinal sweep
+    and the chaos study — execute on the worker pool; everything else
+    falls back to the serial path.
+    """
     seed, scale = args.seed, args.scale
 
     if name == "fig2":
@@ -247,9 +314,17 @@ def _run_one(name: str, args: argparse.Namespace):
         return run_weblab(WeblabConfig(seed=seed, scale=scale))
 
     if name in ("fig3-5", "fig6-7", "fig8", "fig9-11", "c45"):
-        from repro.experiments.controlled import ControlledConfig, run_controlled
+        from repro.experiments.controlled import (
+            ControlledConfig,
+            run_controlled,
+            run_controlled_exec,
+        )
 
-        campaign = run_controlled(ControlledConfig(seed=seed, scale=scale))
+        config = ControlledConfig(seed=seed, scale=scale)
+        if runner is None:
+            campaign = run_controlled(config)
+        else:
+            campaign = run_controlled_exec(config, runner)
         if name == "fig3-5":
             return campaign.result
         if name == "fig6-7":
@@ -257,7 +332,9 @@ def _run_one(name: str, args: argparse.Namespace):
 
             top_n = 30 if scale == "paper" else 8
             samples = 50 if scale == "paper" else 10
-            return run_longitudinal(campaign, top_n=top_n, samples=samples)
+            return run_longitudinal(
+                campaign, top_n=top_n, samples=samples, exec_runner=runner
+            )
         if name == "fig8":
             from repro.experiments.diversity_exp import run_diversity
 
@@ -316,8 +393,10 @@ def _run_one(name: str, args: argparse.Namespace):
         return run_control(ControlExpConfig(seed=seed, scale=scale))
 
     if name == "chaos":
-        from repro.experiments.chaos_exp import ChaosConfig, run_chaos
+        from repro.experiments.chaos_exp import ChaosConfig, run_chaos, run_chaos_exec
 
+        if runner is not None:
+            return run_chaos_exec(ChaosConfig(seed=seed, scale=scale), runner)
         return run_chaos(ChaosConfig(seed=seed, scale=scale))
 
     if name == "engines":
@@ -339,9 +418,10 @@ def _run_one(name: str, args: argparse.Namespace):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    runner = _make_runner(args)
     for name in names:
         print(f"=== {name}: {EXPERIMENTS[name]} ===")
-        result = _run_one(name, args)
+        result = _run_one(name, args, runner=runner)
         print(result.render())
         print()
         if args.out:
@@ -350,6 +430,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             suffix = f".{name}" if args.experiment == "all" else ""
             target = dump_json(result, args.out + suffix)
             print(f"[written {target}]")
+    if runner is not None and runner.manifest.records:
+        print(runner.manifest.render())
+        print(f"[manifest {runner.write_manifest()}]")
+    return 0
+
+
+def _cmd_exec(args: argparse.Namespace) -> int:
+    if args.exec_command == "manifest":
+        from repro.exec.manifest import RunManifest
+
+        print(RunManifest.load(args.path).render())
+        return 0
+    from repro.exec.cache import ResultCache
+
+    count, size = ResultCache(args.cache_dir).stats()
+    print(f"cache {args.cache_dir}: {count} entries, {size} bytes")
     return 0
 
 
@@ -365,11 +461,17 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_control(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "exec":
+            return _cmd_exec(args)
         if args.command == "report":
             from repro.report import write_report
 
             target = write_report(
-                args.out, seed=args.seed, scale=args.scale, include_mptcp=args.mptcp
+                args.out,
+                seed=args.seed,
+                scale=args.scale,
+                include_mptcp=args.mptcp,
+                exec_runner=_make_runner(args),
             )
             print(f"report written to {target}")
             return 0

@@ -67,3 +67,7 @@ class ControlError(ReproError):
 
 class PlanetLabError(ReproError):
     """PlanetLab client population errors (cap exceeded, unknown site)."""
+
+
+class ExecError(ReproError):
+    """Sharded execution failed (bad spec, dead worker, aborted run)."""

@@ -1,0 +1,92 @@
+"""Content-addressed on-disk result cache.
+
+Each shard's payload lands in ``<root>/<key[:2]>/<key>.json`` where
+``key = sha256(code salt + canonical spec)``.  Writes are atomic
+(temp file + ``os.replace``) so a killed run never leaves a torn
+entry — whatever made it to the cache is complete and safe to serve
+on ``--resume``.  Payloads are canonical JSON, so a cached shard's
+bytes are identical to a recomputed shard's bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExecError
+from repro.io import to_jsonable
+
+#: Code-version component of every cache key.  Bump whenever a shard
+#: function's semantics change — old entries become unreachable (and
+#: harmless) instead of silently wrong.
+CACHE_EPOCH = 1
+
+
+class ResultCache:
+    """Shard payloads addressed by spec hash under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s payload lives (two-level fan-out)."""
+        if len(key) < 3:
+            raise ExecError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """True when a complete entry for ``key`` exists."""
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Any | None:
+        """The payload stored under ``key``, or None on a miss.
+
+        A corrupt entry (torn by an unclean filesystem, truncated by
+        hand) reads as a miss: the shard recomputes and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            wrapped = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(wrapped, dict) or wrapped.get("key") != key:
+            return None
+        return wrapped.get("payload")
+
+    def put(self, key: str, payload: Any) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path.
+
+        The payload is converted with
+        :func:`~repro.io.to_jsonable` and written to a temp file named
+        after the writing PID, then renamed into place — concurrent
+        workers writing the same key race benignly (last rename wins,
+        both wrote identical bytes).
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(
+            {"key": key, "payload": to_jsonable(payload)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(body)
+        os.replace(tmp, path)
+        return path
+
+    def stats(self) -> tuple[int, int]:
+        """(entry count, total bytes) currently stored under the root."""
+        count = 0
+        total = 0
+        if not self.root.exists():
+            return (0, 0)
+        # Only the two-hex-prefix fan-out dirs hold entries; the root
+        # also hosts ``runs/`` manifests, which are not cache content.
+        for path in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
+            count += 1
+            total += path.stat().st_size
+        return (count, total)

@@ -1,0 +1,74 @@
+"""Multi-stage execution plans — the DAG layer over the shard pool.
+
+A plan is an ordered list of stages; each stage fans out into shards
+that run in parallel, and the *next* stage's tasks are built from the
+previous stage's merged payloads (a chain of fan-out/fan-in steps —
+the DAG shape every campaign here needs).  Reductions that are cheap
+run in the driver between stages; reductions that are expensive are
+just another stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExecError
+from repro.exec.spec import TaskSpec
+
+
+@dataclass(frozen=True)
+class ExecTask:
+    """One schedulable shard: its identity plus the work itself.
+
+    ``fn`` must be a pure function of the spec — same spec, same
+    payload bytes — and must return a JSON-serializable value.  With
+    the default ``fork`` pool it may close over driver state (a built
+    world, a ranked path list); that state is an optimization, never
+    an input, because the spec fully determines it.
+    """
+
+    spec: TaskSpec
+    fn: Callable[[], Any]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One fan-out step of a plan.
+
+    ``build`` receives the merged payloads of the previous stage
+    (``[]`` for the first) and returns this stage's tasks — which is
+    how later stages depend on earlier results without the pool ever
+    shipping payloads between workers.
+    """
+
+    name: str
+    build: Callable[[list[Any]], Sequence[ExecTask]]
+
+
+@dataclass(frozen=True)
+class ExecPlan:
+    """An ordered chain of stages executed with a barrier between."""
+
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ExecError("plan has no stages")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ExecError(f"duplicate stage names in plan: {names}")
+
+
+def run_plan(plan: ExecPlan, runner) -> list[Any]:
+    """Execute every stage through ``runner``; returns the last
+    stage's payloads (in task order).
+
+    ``runner`` is an :class:`~repro.exec.runner.ExecRunner`; its
+    manifest accumulates records across all stages.
+    """
+    payloads: list[Any] = []
+    for stage in plan.stages:
+        tasks = list(stage.build(payloads))
+        payloads = runner.run(tasks, stage=stage.name)
+    return payloads

@@ -1,0 +1,134 @@
+"""The exec driver: cache + pool + manifest behind one object.
+
+:class:`ExecRunner` is what experiment ports talk to.  They hand it
+:class:`~repro.exec.plan.ExecTask` lists; it consults the cache,
+schedules misses onto the worker pool, accumulates the manifest, and
+hands back payloads in task order.
+
+The environment variable ``REPRO_EXEC_ABORT_AFTER=N`` makes the
+runner die (``ExecError``) after N freshly executed shards — the
+deterministic mid-run ``kill -9`` the resume tests and the CI smoke
+job use to prove that ``--resume`` completes with zero recomputation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ExecError
+from repro.exec.cache import CACHE_EPOCH, ResultCache
+from repro.exec.manifest import RunManifest, ShardRecord
+from repro.exec.plan import ExecTask
+from repro.exec.pool import execute_shards
+
+#: Environment knob: abort the run after N executed shards.
+ABORT_ENV = "REPRO_EXEC_ABORT_AFTER"
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Knobs of one exec run.
+
+    ``resume`` gates cache *reads* only — payloads are always written,
+    so any completed shard survives a crash, but a fresh run without
+    ``--resume`` measures real work instead of serving yesterday's.
+    """
+
+    workers: int = 1
+    cache_dir: str | Path = ".repro-cache"
+    resume: bool = False
+    timeout_s: float | None = None
+    retries: int = 1
+    mp_context: str = "fork"
+    use_processes: bool = True
+    #: Extra cache-key salt on top of :data:`CACHE_EPOCH` (e.g. a
+    #: config fingerprint the specs do not carry).
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ExecError(f"workers must be positive, got {self.workers}")
+        if self.retries < 0:
+            raise ExecError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ExecError(f"timeout must be positive when set, got {self.timeout_s}")
+
+    @property
+    def cache_salt(self) -> str:
+        """The full code-version salt every cache key carries."""
+        return f"epoch={CACHE_EPOCH};{self.salt}"
+
+
+class ExecRunner:
+    """Schedules task lists and accumulates one manifest per run."""
+
+    def __init__(self, config: ExecConfig | None = None) -> None:
+        self.config = config or ExecConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+        self._records: list[ShardRecord] = []
+        self._started = time.perf_counter()
+        self._executed = 0
+        abort = os.environ.get(ABORT_ENV)
+        self._abort_after: int | None = int(abort) if abort else None
+
+    def run(self, tasks: Sequence[ExecTask], stage: str = "main") -> list[Any]:
+        """Execute ``tasks``; returns payloads aligned with them.
+
+        A shard that fails all retries contributes ``None``; callers
+        that cannot tolerate holes should check :attr:`manifest`
+        (or :meth:`raise_on_errors`).
+        """
+        triples = [
+            (task.spec.key(self.config.cache_salt), task.spec.label, task.fn)
+            for task in tasks
+        ]
+        abort_after = (
+            self._abort_after - self._executed
+            if self._abort_after is not None
+            else None
+        )
+        payloads, outcomes = execute_shards(
+            triples,
+            cache=self.cache,
+            workers=self.config.workers,
+            resume=self.config.resume,
+            timeout_s=self.config.timeout_s,
+            retries=self.config.retries,
+            mp_context=self.config.mp_context,
+            use_processes=self.config.use_processes,
+            abort_after=abort_after,
+        )
+        self._records.extend(
+            ShardRecord.from_outcome(stage, outcome) for outcome in outcomes
+        )
+        self._executed += sum(1 for o in outcomes if o.status == "ok")
+        return payloads
+
+    @property
+    def manifest(self) -> RunManifest:
+        """The manifest accumulated so far (records across all stages)."""
+        return RunManifest(
+            workers=self.config.workers,
+            records=list(self._records),
+            wall_s=time.perf_counter() - self._started,
+        )
+
+    def raise_on_errors(self) -> None:
+        """Fail loudly when any shard exhausted its retries."""
+        failed = self.manifest.error_shards()
+        if failed:
+            details = "; ".join(
+                f"{r.stage}/{r.label}: {r.error}" for r in failed[:5]
+            )
+            raise ExecError(f"{len(failed)} shard(s) failed — {details}")
+
+    def write_manifest(self, path: str | Path | None = None) -> Path:
+        """Write the manifest (default: ``<cache>/runs/<run_id>.json``)."""
+        manifest = self.manifest
+        if path is None:
+            path = Path(self.config.cache_dir) / "runs" / f"{manifest.run_id}.json"
+        return manifest.write(path)

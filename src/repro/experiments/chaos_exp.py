@@ -24,7 +24,9 @@ produce identical reports.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.tables import format_table
 from repro.control.controller import ControllerReport, OverlayController
@@ -51,6 +53,9 @@ from repro.faults.scenarios import (
     build_scenario,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — typing-only import
+    from repro.exec.runner import ExecRunner
+
 #: The two controller configurations every scenario is replayed under.
 #: ``ChaosConfig.adaptive`` appends a third arm (hardened + adaptive
 #: cadence + gray detection + flap-aware margins).
@@ -68,10 +73,16 @@ class ChaosConfig:
     duration_s: float = 3_600.0
     tick_s: float = 10.0
     probe_interval_s: float = 60.0
-    #: Add the adaptive arm: adaptive probe cadence, gray-failure
-    #: detection, and fault-history-weighted path selection.  Off by
-    #: default — the two classic arms, byte-identical to earlier runs.
+    #: Add the adaptive arm with *every* knob on: adaptive probe
+    #: cadence, gray-failure detection, and fault-history-weighted path
+    #: selection.  Off by default — the two classic arms,
+    #: byte-identical to earlier runs.
     adaptive: bool = False
+    #: Ablation knobs: each adds the adaptive arm with just that
+    #: mechanism enabled (combine freely; ``adaptive`` is the bundle).
+    adaptive_cadence: bool = False
+    gray_detect: bool = False
+    flap_margin: bool = False
     #: Adaptive cadence floor (None = probe_interval / 4).
     probe_floor_s: float | None = None
     #: Adaptive cadence ceiling (None = probe_interval).
@@ -100,9 +111,29 @@ class ChaosConfig:
         return self.scenarios if self.scenarios else tuple(DEFAULT_SCENARIOS)
 
     @property
+    def use_adaptive_cadence(self) -> bool:
+        """Whether the adaptive arm adapts its probe cadence."""
+        return self.adaptive or self.adaptive_cadence
+
+    @property
+    def use_gray_detect(self) -> bool:
+        """Whether the adaptive arm runs gray-failure detection."""
+        return self.adaptive or self.gray_detect
+
+    @property
+    def use_flap_margin(self) -> bool:
+        """Whether the adaptive arm weights switching by fault history."""
+        return self.adaptive or self.flap_margin
+
+    @property
+    def any_adaptive(self) -> bool:
+        """True when any adaptive mechanism (hence the third arm) is on."""
+        return self.use_adaptive_cadence or self.use_gray_detect or self.use_flap_margin
+
+    @property
     def arms(self) -> tuple[str, ...]:
         """The controller arms every scenario is replayed under."""
-        return (*ARMS, "adaptive") if self.adaptive else ARMS
+        return (*ARMS, "adaptive") if self.any_adaptive else ARMS
 
     def hardened_probes(self) -> ProbeConfig:
         """The hardened arm's probe configuration."""
@@ -190,7 +221,7 @@ class ChaosResult:
         ]
         # The detect column exists only on adaptive runs, so classic
         # (knobs-off) output stays byte-identical to historical runs.
-        with_detect = self.config.adaptive
+        with_detect = self.config.any_adaptive
         for scenario in self.config.scenario_names:
             rows = []
             for outcome in self.outcomes:
@@ -242,7 +273,7 @@ def _policy_for(strategy: str, config: ChaosConfig, arm: str) -> tuple[Policy, b
         if name == strategy:
             if factory is None:
                 return StaticPolicy("direct"), False
-            if arm == "adaptive" and factory is BestPathPolicy:
+            if arm == "adaptive" and config.use_flap_margin and factory is BestPathPolicy:
                 return (
                     BestPathPolicy(
                         flap_margin_per_failure=config.flap_margin_per_failure
@@ -323,7 +354,7 @@ def _run_one(
     adaptive = arm == "adaptive"
     scheduler = None
     if probed:
-        if adaptive:
+        if adaptive and config.use_adaptive_cadence:
             probe_config = config.adaptive_probes()
         elif hardened:
             probe_config = config.hardened_probes()
@@ -343,7 +374,8 @@ def _run_one(
             pathset, probe_config, world.streams.stream(stream), fault_model
         )
     health_config = HealthConfig(
-        recovery_hold_s=2 * config.probe_interval_s, gray_detect=adaptive
+        recovery_hold_s=2 * config.probe_interval_s,
+        gray_detect=adaptive and config.use_gray_detect,
     )
     flap_history = (
         PathFaultHistory(
@@ -351,7 +383,7 @@ def _run_one(
             _label_links(pathset),
             window_s=config.degradation().flap_window_s,
         )
-        if adaptive and injector is not None
+        if adaptive and config.use_flap_margin and injector is not None
         else None
     )
     controller = OverlayController(
@@ -414,4 +446,83 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
         finally:
             injector.uninstall()
             world.internet.set_time(0.0)
+    return result
+
+
+def run_chaos_exec(config: ChaosConfig, runner: "ExecRunner") -> ChaosResult:
+    """The chaos study as one shard per (scenario, arm, strategy) run.
+
+    Every run is independent — scenario builders are RNG-free, and each
+    run's probe streams are memoized under a unique per-run name — so a
+    shard rebuilds its own scenario, installs a fresh fault injector,
+    replays the run, and uninstalls in ``finally``.  Shard order and
+    worker count therefore cannot change any outcome, and results are
+    byte-identical to the serial :func:`run_chaos` loop.
+    """
+    from repro.exec.plan import ExecTask
+    from repro.exec.spec import TaskSpec
+    from repro.io import to_jsonable
+
+    world = build_world(seed=config.seed, scale=config.scale)
+    cronet = world.cronet()
+    pathset = _pick_pathset(world, cronet, config)
+    result = ChaosResult(
+        config=config,
+        pair=(pathset.src_name, pathset.dst_name),
+        descriptions={
+            name: build_scenario(
+                name, world.internet, pathset, config.duration_s
+            ).describe()
+            for name in config.scenario_names
+        },
+    )
+    combos = [
+        (scenario_name, arm, strategy)
+        for scenario_name in config.scenario_names
+        for arm in config.arms
+        for strategy, _ in STRATEGIES
+    ]
+
+    def shard_fn(scenario_name: str, arm: str, strategy: str):
+        def fn() -> dict:
+            scenario = build_scenario(
+                scenario_name, world.internet, pathset, config.duration_s
+            )
+            injector = FaultInjector(world.internet)
+            for event in scenario.events:
+                injector.add(event)
+            injector.install()
+            try:
+                outcome = _run_one(
+                    world, pathset, scenario, strategy, arm, config, injector
+                )
+            finally:
+                injector.uninstall()
+                world.internet.set_time(0.0)
+            return to_jsonable(outcome)
+
+        return fn
+
+    spec_params = {"experiment": "chaos", "config": dataclasses.asdict(config)}
+    tasks = [
+        ExecTask(
+            spec=TaskSpec(
+                kind="chaos.runs",
+                seed=config.seed,
+                shard_index=i,
+                shard_count=len(combos),
+                params={
+                    **spec_params,
+                    "scenario": scenario_name,
+                    "arm": arm,
+                    "strategy": strategy,
+                },
+            ),
+            fn=shard_fn(scenario_name, arm, strategy),
+        )
+        for i, (scenario_name, arm, strategy) in enumerate(combos)
+    ]
+    payloads = runner.run(tasks, stage="chaos.runs")
+    runner.raise_on_errors()
+    result.outcomes.extend(ChaosOutcome(**payload) for payload in payloads)
     return result

@@ -18,7 +18,9 @@ Reproduces:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +33,9 @@ from repro.errors import ExperimentError
 from repro.experiments.scenario import World, build_world
 from repro.planetlab.sites import CONTROLLED_DISTRIBUTION, scale_distribution
 from repro.transport.throughput import FlowStats
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only import
+    from repro.exec.runner import ExecRunner
 
 IPERF_DURATION_S = 30.0
 
@@ -204,47 +209,183 @@ class ControlledCampaign:
     world: World
 
 
+def _build_pathsets(config: ControlledConfig, world: World) -> list[PathSet]:
+    """Every (VM sender, client) pair's path set, in campaign order."""
+    cronet = world.cronet()
+    if len(cronet.nodes) < 2:
+        raise ExperimentError("controlled experiment needs at least 2 overlay nodes")
+    distribution = scale_distribution(CONTROLLED_DISTRIBUTION, config.client_count())
+    from repro.planetlab.nodes import deploy_planetlab
+
+    clients = deploy_planetlab(world.internet, distribution, world.streams, name_prefix="ctl")
+    pathsets: list[PathSet] = []
+    for client in clients.names():
+        for sender_node in cronet.nodes:
+            others = [node for node in cronet.nodes if node.name != sender_node.name]
+            pathsets.append(
+                PathSet.build(world.internet, sender_node.host.name, client, others)
+            )
+    return pathsets
+
+
 def run_controlled(
     config: ControlledConfig = ControlledConfig(), world: World | None = None
 ) -> ControlledCampaign:
     """Measure every (VM sender, client) pair in all four modes."""
     if world is None:
         world = build_world(seed=config.seed, scale=config.scale)
-    cronet = world.cronet()
-    if len(cronet.nodes) < 2:
-        raise ExperimentError("controlled experiment needs at least 2 overlay nodes")
     at_time = config.at_hours * 3_600.0
     retx_rng = world.streams.stream("controlled-retx")
-
-    # Dedicated client population with the controlled-study distribution.
-    distribution = scale_distribution(CONTROLLED_DISTRIBUTION, config.client_count())
-    from repro.planetlab.nodes import deploy_planetlab
-
-    clients = deploy_planetlab(world.internet, distribution, world.streams, name_prefix="ctl")
+    pathsets = _build_pathsets(config, world)
 
     pairs: list[ControlledPair] = []
-    pathsets: list[PathSet] = []
-    for client in clients.names():
-        for sender_node in cronet.nodes:
-            others = [node for node in cronet.nodes if node.name != sender_node.name]
-            pathset = PathSet.build(world.internet, sender_node.host.name, client, others)
-            measurement = measure_four_ways(pathset, at_time, config.duration_s)
-            # Fig. 4 reports "the lowest TCP retransmission rates
-            # across the four tunnels for each node pair".
-            overlay_retx = min(
-                observed_retransmission_rate(stats, retx_rng)
-                for _name, stats in sorted(measurement.overlay.items())
+    for pathset in pathsets:
+        measurement = measure_four_ways(pathset, at_time, config.duration_s)
+        # Fig. 4 reports "the lowest TCP retransmission rates
+        # across the four tunnels for each node pair".
+        overlay_retx = min(
+            observed_retransmission_rate(stats, retx_rng)
+            for _name, stats in sorted(measurement.overlay.items())
+        )
+        pairs.append(
+            ControlledPair(
+                measurement=measurement,
+                direct_retx_observed=observed_retransmission_rate(
+                    measurement.direct, retx_rng
+                ),
+                best_overlay_retx_observed=overlay_retx,
             )
-            pairs.append(
-                ControlledPair(
-                    measurement=measurement,
-                    direct_retx_observed=observed_retransmission_rate(
-                        measurement.direct, retx_rng
-                    ),
-                    best_overlay_retx_observed=overlay_retx,
+        )
+    return ControlledCampaign(
+        result=ControlledResult(config=config, pairs=pairs),
+        pathsets=pathsets,
+        world=world,
+    )
+
+
+def _flow_stats_from_payload(data: dict) -> FlowStats:
+    """Rebuild a :class:`FlowStats` from its cached JSON form."""
+    return FlowStats(
+        duration_s=data["duration_s"],
+        bytes_acked=data["bytes_acked"],
+        bytes_retransmitted=data["bytes_retransmitted"],
+        avg_rtt_ms=data["avg_rtt_ms"],
+        throughput_mbps=data["throughput_mbps"],
+    )
+
+
+def _measurement_from_payload(data: dict) -> FourWayMeasurement:
+    """Rebuild a :class:`FourWayMeasurement` from its cached JSON form."""
+    return FourWayMeasurement(
+        src_name=data["src_name"],
+        dst_name=data["dst_name"],
+        at_time=data["at_time"],
+        direct=_flow_stats_from_payload(data["direct"]),
+        overlay={
+            name: _flow_stats_from_payload(stats)
+            for name, stats in data["overlay"].items()
+        },
+        split_overlay={
+            name: _flow_stats_from_payload(stats)
+            for name, stats in data["split_overlay"].items()
+        },
+        discrete_mbps={name: float(v) for name, v in data["discrete_mbps"].items()},
+    )
+
+
+def run_controlled_exec(
+    config: ControlledConfig,
+    runner: "ExecRunner",
+    world: World | None = None,
+) -> ControlledCampaign:
+    """The controlled campaign as seed-stable shards on :mod:`repro.exec`.
+
+    Pairs are partitioned into contiguous shards whose count depends
+    only on the pair count — never on the worker count — so merged
+    results are byte-identical at any parallelism, and cached shards
+    survive ``--resume`` across worker-count changes.
+
+    RNG contract: the serial :func:`run_controlled` draws every pair's
+    retransmission observations from one *sequential* stream, which no
+    sharding can replay.  Here each pair index spawns its own
+    generator (``controlled-retx[i]``) and draws its overlay
+    observations in sorted-tunnel order, then its direct observation —
+    deterministic per pair, independent of shard layout.  The two
+    entry points therefore agree on every throughput/RTT number and
+    differ only in the finite-sample retx noise realization.
+    """
+    from repro.exec.plan import ExecTask
+    from repro.exec.shard import default_shard_count, partition_indices
+    from repro.exec.spec import TaskSpec
+    from repro.io import to_jsonable
+
+    if world is None:
+        world = build_world(seed=config.seed, scale=config.scale)
+    at_time = config.at_hours * 3_600.0
+    pathsets = _build_pathsets(config, world)
+
+    def shard_fn(span: range):
+        def fn() -> list[dict]:
+            rows: list[dict] = []
+            for index in span:
+                measurement = measure_four_ways(
+                    pathsets[index], at_time, config.duration_s
                 )
-            )
-            pathsets.append(pathset)
+                rng = world.streams.spawn_generator("controlled-retx", index)
+                overlay_retx = min(
+                    observed_retransmission_rate(stats, rng)
+                    for _name, stats in sorted(measurement.overlay.items())
+                )
+                rows.append(
+                    {
+                        "index": index,
+                        "measurement": to_jsonable(measurement),
+                        "direct_retx": observed_retransmission_rate(
+                            measurement.direct, rng
+                        ),
+                        "overlay_retx": overlay_retx,
+                    }
+                )
+            return rows
+
+        return fn
+
+    shards = default_shard_count(len(pathsets))
+    spans = partition_indices(len(pathsets), shards)
+    spec_params = {
+        "experiment": "controlled",
+        "config": dataclasses.asdict(config),
+        "world_seed": world.seed,
+        "scale": world.scale,
+        "pairs": len(pathsets),
+    }
+    tasks = [
+        ExecTask(
+            spec=TaskSpec(
+                kind="controlled.pairs",
+                seed=config.seed,
+                shard_index=i,
+                shard_count=shards,
+                params=spec_params,
+            ),
+            fn=shard_fn(span),
+        )
+        for i, span in enumerate(spans)
+    ]
+    payloads = runner.run(tasks, stage="controlled.pairs")
+    runner.raise_on_errors()
+
+    rows = sorted(
+        (row for payload in payloads for row in payload), key=lambda r: r["index"]
+    )
+    pairs = [
+        ControlledPair(
+            measurement=_measurement_from_payload(row["measurement"]),
+            direct_retx_observed=row["direct_retx"],
+            best_overlay_retx_observed=row["overlay_retx"],
+        )
+        for row in rows
+    ]
     return ControlledCampaign(
         result=ControlledResult(config=config, pairs=pairs),
         pathsets=pathsets,

@@ -13,14 +13,20 @@ flattens after two nodes.
 
 from __future__ import annotations
 
+import dataclasses
 import statistics
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.tables import format_table
 from repro.core.pathset import PathSet, PathType
 from repro.core.placement import improvement_vs_node_count, min_nodes_for_max_throughput
 from repro.errors import ExperimentError
 from repro.experiments.controlled import ControlledCampaign
+from repro.measure.runner import CampaignSummary, MeasurementCampaign
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only import
+    from repro.exec.runner import ExecRunner
 
 #: Sec. IV: 50 samples at 3-hour intervals over a 7-day period.
 SAMPLE_COUNT = 50
@@ -78,6 +84,9 @@ class LongitudinalResult:
     """Figs. 6, 7 and Table I."""
 
     paths: list[LongitudinalPath]
+    #: Ok/error tallies of the sampling campaign (flaky vantage
+    #: points); rendered by ``repro report``'s measurement-health table.
+    campaign_summary: CampaignSummary | None = None
 
     def __post_init__(self) -> None:
         if not self.paths:
@@ -142,13 +151,39 @@ class LongitudinalResult:
         return "\n\n".join(parts)
 
 
+def _path_task(pathset: PathSet):
+    """One tracked path's per-instant measurement task.
+
+    Returns the direct throughput and every node's split-overlay
+    throughput in one JSON-able value, so one campaign task covers one
+    path (the shardable unit of the week-long sweep).
+    """
+
+    def task(at_time: float) -> dict:
+        return {
+            "direct": pathset.direct_connection().throughput_at(at_time),
+            "nodes": dict(pathset.throughput(PathType.SPLIT_OVERLAY, at_time)),
+        }
+
+    return task
+
+
 def run_longitudinal(
     campaign: ControlledCampaign,
     top_n: int = TOP_PATH_COUNT,
     samples: int = SAMPLE_COUNT,
     interval_s: float = SAMPLE_INTERVAL_S,
+    exec_runner: "ExecRunner | None" = None,
 ) -> LongitudinalResult:
-    """Track the top-``top_n`` most-improved pairs over a week."""
+    """Track the top-``top_n`` most-improved pairs over a week.
+
+    The sweep runs as a :class:`~repro.measure.runner.MeasurementCampaign`
+    (one task per tracked path), so flaky vantage points surface in
+    :attr:`LongitudinalResult.campaign_summary`.  With ``exec_runner``
+    the campaign executes as seed-stable shards on the
+    :mod:`repro.exec` worker pool — byte-identical to the serial run
+    at any worker count, resumable from the result cache.
+    """
     if top_n <= 0 or samples <= 0:
         raise ExperimentError(f"invalid plan: top_n={top_n} samples={samples}")
     ranked = sorted(
@@ -160,6 +195,7 @@ def run_longitudinal(
 
     world = campaign.world
     paths: list[LongitudinalPath] = []
+    tasks: dict[str, object] = {}
     for index, (_pair, pathset) in enumerate(ranked, start=1):
         paths.append(
             LongitudinalPath(
@@ -170,16 +206,33 @@ def run_longitudinal(
                 node_samples={option.name: [] for option in pathset.options},
             )
         )
+        tasks[f"path-{index:03d}"] = _path_task(pathset)
 
     start = world.internet.now
-    for i in range(samples):
-        at_time = start + i * interval_s
-        for record, (_pair, pathset) in zip(paths, ranked):
-            record.direct_samples.append(
-                pathset.direct_connection().throughput_at(at_time)
-            )
-            split = pathset.throughput(PathType.SPLIT_OVERLAY, at_time)
-            for name, value in split.items():
+    sampler = MeasurementCampaign(world.internet, interval_s=interval_s, iterations=samples)
+    if exec_runner is None:
+        results = sampler.run(tasks)
+    else:
+        results = sampler.run_sharded(
+            tasks,
+            exec_runner,
+            seed=world.seed,
+            params={
+                "experiment": "longitudinal",
+                "scale": world.scale,
+                "config": dataclasses.asdict(campaign.result.config),
+                "top_n": top_n,
+            },
+            kind="longitudinal.samples",
+        )
+    for record, (index, _item) in zip(paths, enumerate(ranked, start=1)):
+        for sample in results[f"path-{index:03d}"]:
+            if not sample.ok:
+                raise ExperimentError(
+                    f"longitudinal sampling failed for path {index}: {sample.error}"
+                )
+            record.direct_samples.append(sample.value["direct"])
+            for name, value in sample.value["nodes"].items():
                 record.node_samples[name].append(value)
     world.internet.set_time(start + samples * interval_s)
-    return LongitudinalResult(paths=paths)
+    return LongitudinalResult(paths=paths, campaign_summary=sampler.summary)

@@ -10,10 +10,13 @@ advancing the world clock between iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import MeasurementError
 from repro.net.world import Internet
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only import, avoids a hard dep
+    from repro.exec.runner import ExecRunner
 
 
 @dataclass(frozen=True, slots=True)
@@ -161,6 +164,124 @@ class MeasurementCampaign:
             counts={
                 task_id: TaskCounts(ok=ok_counts[task_id], errors=error_counts[task_id])
                 for task_id in tasks
+            }
+        )
+        return results
+
+    def run_sharded(
+        self,
+        tasks: dict[str, Callable[[float], Any]],
+        runner: "ExecRunner",
+        *,
+        seed: int,
+        params: dict[str, Any] | None = None,
+        shard_count: int | None = None,
+        kind: str = "campaign.samples",
+    ) -> dict[str, list[Sample]]:
+        """Execute the campaign as shards through :mod:`repro.exec`.
+
+        Tasks are partitioned into seed-stable groups; each shard
+        replays every iteration for its task subset at the *absolute*
+        instants ``now + i * interval_s`` (via ``set_time``, so shard
+        order cannot matter).  This is only equivalent to :meth:`run`
+        when tasks are deterministic functions of time — the contract
+        every simulated measurement here satisfies; tasks drawing from
+        a shared sequential RNG stream must derive per-task generators
+        instead.
+
+        ``params`` must fingerprint everything that shapes the task
+        values (world seed and scale, config knobs...): together with
+        ``seed`` it forms the cache key, so an incomplete fingerprint
+        would let stale cached samples impersonate fresh ones.
+
+        Sample values round-trip through the JSON result cache, so
+        they come back as plain data (dicts/lists/floats), not live
+        objects.  The clock ends where :meth:`run` leaves it and
+        :attr:`summary` is populated identically.
+        """
+        from repro.exec.plan import ExecTask
+        from repro.exec.shard import default_shard_count, partition_indices
+        from repro.exec.spec import TaskSpec
+
+        if not tasks:
+            raise MeasurementError("campaign has no tasks")
+        task_ids = list(tasks)
+        shards = shard_count or default_shard_count(len(task_ids))
+        ranges = partition_indices(len(task_ids), shards)
+        base = self.internet.now
+        spec_params = {
+            "task_ids": task_ids,
+            "interval_s": self.interval_s,
+            "iterations": self.iterations,
+            **(params or {}),
+        }
+
+        def shard_fn(ids: list[str]) -> Callable[[], list[dict[str, Any]]]:
+            def fn() -> list[dict[str, Any]]:
+                collected: list[dict[str, Any]] = []
+                for iteration in range(self.iterations):
+                    now = base + iteration * self.interval_s
+                    self.internet.set_time(now)
+                    for task_id in ids:
+                        try:
+                            value, ok, error = tasks[task_id](now), True, None
+                        except Exception as exc:
+                            value, ok = None, False
+                            error = f"{type(exc).__name__}: {exc}"
+                        collected.append(
+                            {
+                                "task_id": task_id,
+                                "iteration": iteration,
+                                "at_time": now,
+                                "value": value,
+                                "ok": ok,
+                                "error": error,
+                            }
+                        )
+                return collected
+
+            return fn
+
+        exec_tasks = [
+            ExecTask(
+                spec=TaskSpec(
+                    kind=kind,
+                    seed=seed,
+                    shard_index=i,
+                    shard_count=shards,
+                    params=spec_params,
+                ),
+                fn=shard_fn([task_ids[j] for j in span]),
+            )
+            for i, span in enumerate(ranges)
+        ]
+        payloads = runner.run(exec_tasks, stage=kind)
+        runner.raise_on_errors()
+
+        results: dict[str, list[Sample]] = {task_id: [] for task_id in task_ids}
+        for payload in payloads:
+            for row in payload:
+                results[row["task_id"]].append(
+                    Sample(
+                        task_id=row["task_id"],
+                        iteration=row["iteration"],
+                        at_time=row["at_time"],
+                        value=row["value"],
+                        ok=row["ok"],
+                        error=row["error"],
+                    )
+                )
+        for samples in results.values():
+            samples.sort(key=lambda s: s.iteration)
+        # Match run(): the clock rests on the last iteration's instant.
+        self.internet.set_time(base + (self.iterations - 1) * self.interval_s)
+        self.summary = CampaignSummary(
+            counts={
+                task_id: TaskCounts(
+                    ok=sum(1 for s in samples if s.ok),
+                    errors=sum(1 for s in samples if not s.ok),
+                )
+                for task_id, samples in results.items()
             }
         )
         return results

@@ -27,10 +27,58 @@ def _section(title: str, reference: str, body: str) -> ReportSection:
     return ReportSection(title=title, paper_reference=reference, body=body)
 
 
-def generate_sections(seed: int = 7, scale: str = "small") -> list[ReportSection]:
-    """Run every experiment and collect rendered sections."""
+def _measurement_health(summary, manifest=None) -> str:
+    """The flaky-vantage-point table.
+
+    Campaign per-task ok/error tallies and — on sharded runs — the exec
+    manifest's per-shard error counts land in one table, so a flaky
+    task and a dying shard read the same way: a nonzero error column.
+    """
+    from repro.analysis.tables import format_table
+
+    rows = [
+        ("campaign", task_id, counts.ok, counts.errors)
+        for task_id, counts in sorted(summary.counts.items())
+    ]
+    if manifest is not None:
+        rows.extend(
+            ("exec", record.label, 0, 1)
+            if record.status == "error"
+            else ("exec", record.label, 1, 0)
+            for record in manifest.records
+        )
+    lines = [
+        f"campaign: {summary.total_ok} ok, {summary.total_errors} errors "
+        f"across {len(summary.counts)} tasks"
+    ]
+    flaky = summary.flaky_tasks()
+    if flaky:
+        lines.append(f"flaky tasks: {', '.join(flaky)}")
+    if manifest is not None:
+        lines.append(
+            f"exec: {manifest.executed} shards executed, "
+            f"{manifest.cache_hits} served from cache, {manifest.errors} failed "
+            f"({manifest.workers} workers, {manifest.wall_s:.1f} s wall)"
+        )
+    lines.append(format_table(["source", "unit", "ok", "errors"], rows))
+    return "\n\n".join(lines)
+
+
+def generate_sections(
+    seed: int = 7, scale: str = "small", exec_runner=None
+) -> list[ReportSection]:
+    """Run every experiment and collect rendered sections.
+
+    With ``exec_runner`` (an :class:`~repro.exec.runner.ExecRunner`),
+    the shardable campaigns run on the worker pool and the
+    measurement-health section includes the run manifest.
+    """
     from repro.experiments.classify import run_classify
-    from repro.experiments.controlled import ControlledConfig, run_controlled
+    from repro.experiments.controlled import (
+        ControlledConfig,
+        run_controlled,
+        run_controlled_exec,
+    )
     from repro.experiments.cost import run_cost
     from repro.experiments.diversity_exp import run_diversity
     from repro.experiments.factors import run_factors
@@ -46,7 +94,11 @@ def generate_sections(seed: int = 7, scale: str = "small") -> list[ReportSection
         _section("Web-server campaign", "Sec. III-A, Fig. 2", weblab.render(series_points=10))
     )
 
-    campaign = run_controlled(ControlledConfig(seed=seed, scale=scale))
+    controlled_config = ControlledConfig(seed=seed, scale=scale)
+    if exec_runner is None:
+        campaign = run_controlled(controlled_config)
+    else:
+        campaign = run_controlled_exec(controlled_config, exec_runner)
     sections.append(
         _section(
             "Controlled senders", "Sec. III-B, Figs. 3-5", campaign.result.render(series_points=10)
@@ -55,10 +107,20 @@ def generate_sections(seed: int = 7, scale: str = "small") -> list[ReportSection
 
     top_n = 30 if scale == "paper" else 8
     samples = 50 if scale == "paper" else 10
-    longitudinal = run_longitudinal(campaign, top_n=top_n, samples=samples)
+    longitudinal = run_longitudinal(
+        campaign, top_n=top_n, samples=samples, exec_runner=exec_runner
+    )
     sections.append(
         _section("Persistency of gains", "Sec. IV, Figs. 6-7, Table I", longitudinal.render())
     )
+    if longitudinal.campaign_summary is not None:
+        manifest = exec_runner.manifest if exec_runner is not None else None
+        sections.append(
+            _section(
+                "Measurement health", "harness",
+                _measurement_health(longitudinal.campaign_summary, manifest),
+            )
+        )
 
     sections.append(
         _section(
@@ -90,13 +152,13 @@ def generate_sections(seed: int = 7, scale: str = "small") -> list[ReportSection
 
 
 def generate_report(
-    seed: int = 7, scale: str = "small", include_mptcp: bool = False
+    seed: int = 7, scale: str = "small", include_mptcp: bool = False, exec_runner=None
 ) -> str:
     """The full Markdown report.
 
     MPTCP sections are opt-in: the fluid simulations dominate runtime.
     """
-    sections = generate_sections(seed=seed, scale=scale)
+    sections = generate_sections(seed=seed, scale=scale, exec_runner=exec_runner)
     if include_mptcp:
         from repro.experiments.mptcp_exp import MptcpExpConfig, run_mptcp_experiment
         from repro.transport.mptcp import MptcpScheme
@@ -126,11 +188,15 @@ def generate_report(
 
 
 def write_report(path: str | Path, seed: int = 7, scale: str = "small",
-                 include_mptcp: bool = False) -> Path:
+                 include_mptcp: bool = False, exec_runner=None) -> Path:
     """Generate and write the report; returns the written path."""
     target = Path(path)
     if target.suffix != ".md":
         raise ReproError(f"report path should end in .md, got {target}")
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(generate_report(seed=seed, scale=scale, include_mptcp=include_mptcp))
+    target.write_text(
+        generate_report(
+            seed=seed, scale=scale, include_mptcp=include_mptcp, exec_runner=exec_runner
+        )
+    )
     return target

@@ -50,6 +50,12 @@ class SimLink:
     queue_packets: int = 128
     shaper_burst_packets: int = 0
     line_rate_mbps: float = 10_000.0
+    #: Drop probability for full-size data segments; ``None`` means the
+    #: hop treats all traffic alike (``loss_prob``).  A value above
+    #: ``loss_prob`` models the differential-observability gray failure
+    #: of :meth:`repro.net.links.Link.bulk_loss` — pings survive, bulk
+    #: data pays extra.
+    bulk_loss_prob: float | None = None
 
     def __post_init__(self) -> None:
         if self.capacity_mbps <= 0:
@@ -58,6 +64,10 @@ class SimLink:
             raise TransportError(f"negative delay: {self.prop_delay_ms}")
         if not 0.0 <= self.loss_prob < 1.0:
             raise TransportError(f"loss_prob must be in [0, 1), got {self.loss_prob}")
+        if self.bulk_loss_prob is not None and not 0.0 <= self.bulk_loss_prob < 1.0:
+            raise TransportError(
+                f"bulk_loss_prob must be in [0, 1), got {self.bulk_loss_prob}"
+            )
         if self.queue_packets < 1:
             raise TransportError(f"queue must hold >= 1 packet, got {self.queue_packets}")
         if self.shaper_burst_packets < 0:
@@ -72,6 +82,11 @@ class SimLink:
         """True when this hop is a token-bucket rate limiter."""
         return self.shaper_burst_packets > 0
 
+    @property
+    def data_loss_prob(self) -> float:
+        """The drop probability the simulated data segments draw against."""
+        return self.loss_prob if self.bulk_loss_prob is None else self.bulk_loss_prob
+
     def service_time_s(self, packet_bytes: int) -> float:
         """Sustained per-packet transmission time on this link."""
         return packet_bytes * 8 / (self.capacity_mbps * 1e6)
@@ -79,6 +94,28 @@ class SimLink:
     def line_time_s(self, packet_bytes: int) -> float:
         """Per-packet time at the underlying line rate (shaped links)."""
         return packet_bytes * 8 / (self.line_rate_mbps * 1e6)
+
+
+def sim_link_at(link, t: float, queue_packets: int = 128) -> SimLink:
+    """Snapshot one world :class:`~repro.net.links.Link` at time ``t``.
+
+    Threads the link's time-varying state into the packet engine:
+    ping-visible ``loss(t)`` becomes ``loss_prob``, the bulk-only
+    ``bulk_loss(t)`` becomes the per-segment drop draw, and queuing and
+    impairment delay fold into the hop's propagation delay.
+    """
+    return SimLink(
+        capacity_mbps=link.available_bw_mbps(t),
+        prop_delay_ms=link.one_way_delay_ms(t),
+        loss_prob=link.loss(t),
+        bulk_loss_prob=link.bulk_loss(t),
+        queue_packets=queue_packets,
+    )
+
+
+def sim_links_at(links, t: float, queue_packets: int = 128) -> list[SimLink]:
+    """Snapshot a whole router path's links at time ``t``."""
+    return [sim_link_at(link, t, queue_packets=queue_packets) for link in links]
 
 
 @dataclass(order=True)
@@ -336,8 +373,11 @@ class PacketLevelTcp:
     # ------------------------------------------------------------------
     def _on_enter_hop(self, seq: int, hop: int) -> None:
         link = self.links[hop]
-        # Random loss on the wire.
-        if link.loss_prob > 0 and self.rng.random() < link.loss_prob:
+        # Random loss on the wire.  Data segments are bulk traffic, so
+        # they pay the bulk drop probability — on a gray hop that is
+        # more than the ping-visible ``loss_prob``.
+        drop = link.data_loss_prob
+        if drop > 0 and self.rng.random() < drop:
             return
         # Tail drop when the queue is full.
         backlog = max(self._link_free_at[hop] - self._now, 0.0)

@@ -147,3 +147,66 @@ class TestChaosAdaptiveCli:
             ["chaos", "--seed", "3", "--scenario", "all", "--fast"]
         ) == 0
         assert "gray-detect" in capsys.readouterr().out
+
+
+class TestExecCli:
+    def test_run_with_workers_writes_manifest(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(
+            [
+                "run", "fig6-7", "--seed", "3", "--scale", "small",
+                "--workers", "2", "--cache-dir", str(cache),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "exec run" in out
+        assert "controlled.pairs" in out
+        manifests = list((cache / "runs").glob("*.json"))
+        assert len(manifests) == 1
+
+    def test_exec_manifest_and_cache_verbs(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            [
+                "run", "chaos", "--seed", "3", "--scale", "small",
+                "--workers", "2", "--cache-dir", str(cache),
+            ]
+        ) == 0
+        capsys.readouterr()
+        manifest = next((cache / "runs").glob("*.json"))
+        assert main(["exec", "manifest", str(manifest)]) == 0
+        assert "chaos.runs" in capsys.readouterr().out
+        assert main(["exec", "cache", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+
+    def test_resume_serves_cached_shards(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = [
+            "run", "fig3-5", "--seed", "3", "--scale", "small",
+            "--workers", "2", "--cache-dir", str(cache),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out or "0 execu" in out
+
+    def test_serial_path_untouched_without_exec_flags(self, capsys):
+        assert main(["run", "fig3-5", "--seed", "3", "--scale", "small"]) == 0
+        assert "exec run" not in capsys.readouterr().out
+
+
+class TestChaosAblationCli:
+    def test_single_knob_adds_adaptive_arm(self, capsys):
+        assert main(
+            [
+                "chaos", "--seed", "3", "--scenario", "gray-detect",
+                "--fast", "--gray-detect",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "detect" in out

@@ -1,0 +1,164 @@
+"""The exec subsystem's headline guarantees, end to end.
+
+* the same campaign produces byte-identical result files at any
+  worker count (1 / 4 / 8),
+* a run killed mid-campaign resumes to completion with zero
+  recomputation of already-cached shards,
+* the sharded chaos and longitudinal ports reproduce the serial
+  entry points exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec.plan import ExecPlan, ExecTask, Stage, run_plan
+from repro.exec.runner import ABORT_ENV, ExecConfig, ExecRunner
+from repro.exec.spec import TaskSpec
+from repro.experiments.chaos_exp import ChaosConfig, run_chaos, run_chaos_exec
+from repro.experiments.controlled import ControlledConfig, run_controlled_exec
+from repro.experiments.longitudinal import run_longitudinal
+from repro.io import dump_json
+
+SEED = 3
+TOP_N = 4
+SAMPLES = 6
+
+
+def _campaign_result_file(tmp_path, tag: str, workers: int, cache_dir, resume=False):
+    """Run controlled + longitudinal through exec; dump the result file."""
+    runner = ExecRunner(
+        ExecConfig(workers=workers, cache_dir=cache_dir, resume=resume)
+    )
+    campaign = run_controlled_exec(ControlledConfig(seed=SEED, scale="small"), runner)
+    longitudinal = run_longitudinal(
+        campaign, top_n=TOP_N, samples=SAMPLES, exec_runner=runner
+    )
+    target = dump_json(longitudinal, tmp_path / f"result-{tag}.json")
+    return target.read_bytes(), runner
+
+
+class TestWorkerCountInvariance:
+    def test_workers_1_4_8_byte_identical_result_files(self, tmp_path):
+        results = {}
+        for workers in (1, 4, 8):
+            cache = tmp_path / f"cache-w{workers}"
+            results[workers], runner = _campaign_result_file(
+                tmp_path, f"w{workers}", workers, cache
+            )
+            assert runner.manifest.errors == 0
+            assert runner.manifest.cache_hits == 0  # fresh caches: all real work
+        assert results[1] == results[4] == results[8]
+
+    def test_shard_keys_do_not_depend_on_worker_count(self, tmp_path):
+        keys = {}
+        for workers in (1, 8):
+            runner = ExecRunner(
+                ExecConfig(workers=workers, cache_dir=tmp_path / f"c{workers}")
+            )
+            run_controlled_exec(ControlledConfig(seed=SEED, scale="small"), runner)
+            keys[workers] = [r.key for r in runner.manifest.records]
+        assert keys[1] == keys[8]
+
+
+class TestResume:
+    def test_killed_run_resumes_with_zero_recompute(self, tmp_path, monkeypatch):
+        cache = tmp_path / "cache"
+        # First attempt dies deterministically after 3 executed shards.
+        monkeypatch.setenv(ABORT_ENV, "3")
+        with pytest.raises(ExecError, match="simulated crash"):
+            _campaign_result_file(tmp_path, "killed", 1, cache)
+        monkeypatch.delenv(ABORT_ENV)
+
+        # The dead shards' payloads are already durable in the cache.
+        resumed_bytes, runner = _campaign_result_file(
+            tmp_path, "resumed", 4, cache, resume=True
+        )
+        manifest = runner.manifest
+        assert manifest.errors == 0
+        assert manifest.cache_hits == 3  # exactly the pre-kill shards
+        assert manifest.executed == len(manifest.records) - 3
+
+        # And the resumed result is byte-identical to an undisturbed run.
+        fresh_bytes, _ = _campaign_result_file(
+            tmp_path, "fresh", 4, tmp_path / "fresh-cache"
+        )
+        assert resumed_bytes == fresh_bytes
+
+    def test_full_resume_recomputes_nothing(self, tmp_path):
+        cache = tmp_path / "cache"
+        first_bytes, _ = _campaign_result_file(tmp_path, "first", 2, cache)
+        second_bytes, runner = _campaign_result_file(
+            tmp_path, "second", 2, cache, resume=True
+        )
+        assert runner.manifest.executed == 0
+        assert runner.manifest.cache_hits == len(runner.manifest.records)
+        assert first_bytes == second_bytes
+
+
+class TestSerialEquivalence:
+    def test_chaos_exec_matches_serial_loop(self, tmp_path):
+        from repro.io import to_jsonable
+
+        config = ChaosConfig(
+            seed=SEED, scale="small", scenarios=("as-outage",), duration_s=300.0
+        )
+        serial = run_chaos(config)
+        runner = ExecRunner(ExecConfig(workers=4, cache_dir=tmp_path / "cache"))
+        sharded = run_chaos_exec(config, runner)
+        assert json.dumps(to_jsonable(serial), sort_keys=True) == json.dumps(
+            to_jsonable(sharded), sort_keys=True
+        )
+        assert serial.render() == sharded.render()
+
+    def test_longitudinal_exec_matches_serial_campaign(self, tmp_path):
+        from repro.experiments.controlled import run_controlled
+        from repro.io import to_jsonable
+
+        config = ControlledConfig(seed=SEED, scale="small")
+        serial_long = run_longitudinal(
+            run_controlled(config), top_n=TOP_N, samples=SAMPLES
+        )
+        runner = ExecRunner(ExecConfig(workers=2, cache_dir=tmp_path / "cache"))
+        exec_long = run_longitudinal(
+            run_controlled_exec(config, runner),
+            top_n=TOP_N,
+            samples=SAMPLES,
+            exec_runner=runner,
+        )
+        # The longitudinal sweep is RNG-free, so the sharded port must
+        # reproduce the serial numbers exactly, not just statistically.
+        assert to_jsonable(serial_long) == to_jsonable(exec_long)
+
+
+class TestPlan:
+    def test_two_stage_plan_feeds_payloads_forward(self, tmp_path):
+        runner = ExecRunner(ExecConfig(workers=2, cache_dir=tmp_path / "cache"))
+
+        def stage1(_prev):
+            return [
+                ExecTask(spec=TaskSpec("square", 7, i, 3), fn=lambda i=i: i * i)
+                for i in range(3)
+            ]
+
+        def stage2(prev):
+            total = sum(prev)
+            return [
+                ExecTask(spec=TaskSpec("sum", 7, 0, 1), fn=lambda: {"total": total})
+            ]
+
+        plan = ExecPlan(stages=(Stage("square", stage1), Stage("sum", stage2)))
+        payloads = run_plan(plan, runner)
+        assert payloads == [{"total": 0 + 1 + 4}]
+        assert set(runner.manifest.stage_counts()) == {"square", "sum"}
+
+    def test_plan_rejects_duplicate_stage_names(self):
+        with pytest.raises(ExecError):
+            ExecPlan(stages=(Stage("a", lambda p: []), Stage("a", lambda p: [])))
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ExecError):
+            ExecPlan(stages=())

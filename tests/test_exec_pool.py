@@ -1,0 +1,166 @@
+"""Pool behaviour: crash isolation, retries, timeouts, resume, abort."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec.cache import ResultCache
+from repro.exec.pool import execute_shards
+from repro.exec.runner import ABORT_ENV, ExecConfig, ExecRunner
+from repro.exec.spec import TaskSpec
+
+
+def _triples(n, fn_for):
+    """(key, label, fn) triples for n shards of kind 't'."""
+    out = []
+    for i in range(n):
+        spec = TaskSpec("t", 7, i, n)
+        out.append((spec.key(), spec.label, fn_for(i)))
+    return out
+
+
+class TestPool:
+    def test_payloads_in_task_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = _triples(5, lambda i: (lambda: {"shard": i}))
+        payloads, outcomes = execute_shards(tasks, cache=cache, workers=3)
+        assert [p["shard"] for p in payloads] == [0, 1, 2, 3, 4]
+        assert all(o.status == "ok" for o in outcomes)
+
+    def test_dead_worker_fails_its_shard_not_the_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        def fn_for(i):
+            if i == 2:
+                return lambda: os._exit(3)
+            return lambda: i
+
+        payloads, outcomes = execute_shards(
+            _triples(5, fn_for), cache=cache, workers=2, retries=0
+        )
+        assert payloads[2] is None
+        assert outcomes[2].status == "error"
+        assert "exit code 3" in outcomes[2].error
+        assert [payloads[i] for i in (0, 1, 3, 4)] == [0, 1, 3, 4]
+
+    def test_exception_message_crosses_the_pipe(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        def boom():
+            raise ValueError("bad shard input")
+
+        _payloads, outcomes = execute_shards(
+            _triples(1, lambda i: boom), cache=cache, retries=0
+        )
+        assert outcomes[0].status == "error"
+        assert "ValueError: bad shard input" in outcomes[0].error
+        assert outcomes[0].attempts == 1
+
+    def test_retry_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        def boom():
+            raise RuntimeError("always fails")
+
+        _payloads, outcomes = execute_shards(
+            _triples(1, lambda i: boom), cache=cache, retries=2
+        )
+        assert outcomes[0].status == "error"
+        assert outcomes[0].attempts == 3
+
+    def test_timeout_kills_hung_shard(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        def hang():
+            time.sleep(60)
+
+        _payloads, outcomes = execute_shards(
+            _triples(1, lambda i: hang), cache=cache, timeout_s=0.3, retries=0
+        )
+        assert outcomes[0].status == "error"
+        assert "timed out" in outcomes[0].error
+
+    def test_resume_serves_cache_without_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = _triples(4, lambda i: (lambda: i * 10))
+        execute_shards(tasks, cache=cache, workers=2)
+
+        def explode():
+            raise AssertionError("resume must not recompute")
+
+        resumed, outcomes = execute_shards(
+            _triples(4, lambda i: explode), cache=cache, workers=2, resume=True
+        )
+        assert resumed == [0, 10, 20, 30]
+        assert all(o.status == "cached" for o in outcomes)
+        assert all(o.attempts == 0 for o in outcomes)
+
+    def test_without_resume_cache_is_write_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = _triples(2, lambda i: (lambda: i))
+        execute_shards(tasks, cache=cache)
+        _payloads, outcomes = execute_shards(tasks, cache=cache)
+        assert all(o.status == "ok" for o in outcomes)
+
+    def test_in_process_fallback_matches_forked_payloads(self, tmp_path):
+        forked_cache = ResultCache(tmp_path / "forked")
+        inproc_cache = ResultCache(tmp_path / "inproc")
+        tasks = _triples(3, lambda i: (lambda: {"rows": [(i, i + 1)]}))
+        forked, _ = execute_shards(tasks, cache=forked_cache, workers=2)
+        inproc, _ = execute_shards(tasks, cache=inproc_cache, use_processes=False)
+        # Both round-trip through JSON, so tuples decay identically.
+        assert forked == inproc
+
+    def test_abort_after_raises_with_partial_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = _triples(5, lambda i: (lambda: i))
+        with pytest.raises(ExecError, match="simulated crash"):
+            execute_shards(tasks, cache=cache, workers=1, abort_after=2)
+        count, _size = cache.stats()
+        assert count >= 2
+
+
+class TestRunnerConfig:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ExecError):
+            ExecConfig(workers=0)
+        with pytest.raises(ExecError):
+            ExecConfig(retries=-1)
+        with pytest.raises(ExecError):
+            ExecConfig(timeout_s=0.0)
+
+    def test_cache_salt_carries_epoch(self):
+        assert ExecConfig().cache_salt.startswith("epoch=")
+
+    def test_abort_env_is_read_at_construction(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ABORT_ENV, "0")
+        runner = ExecRunner(ExecConfig(cache_dir=tmp_path))
+        from repro.exec.plan import ExecTask
+
+        task = ExecTask(spec=TaskSpec("t", 7, 0, 1), fn=lambda: 1)
+        with pytest.raises(ExecError, match="simulated crash"):
+            runner.run([task])
+
+    def test_raise_on_errors(self, tmp_path):
+        from repro.exec.plan import ExecTask
+
+        def boom():
+            raise RuntimeError("nope")
+
+        runner = ExecRunner(ExecConfig(cache_dir=tmp_path, retries=0))
+        runner.run([ExecTask(spec=TaskSpec("t", 7, 0, 1), fn=boom)])
+        with pytest.raises(ExecError, match="1 shard\\(s\\) failed"):
+            runner.raise_on_errors()
+
+    def test_write_manifest_default_path(self, tmp_path):
+        from repro.exec.plan import ExecTask
+
+        runner = ExecRunner(ExecConfig(cache_dir=tmp_path))
+        runner.run([ExecTask(spec=TaskSpec("t", 7, 0, 1), fn=lambda: 1)])
+        path = runner.write_manifest()
+        assert path.parent == tmp_path / "runs"
+        assert path.exists()

@@ -130,3 +130,42 @@ class TestAdaptiveArm:
             ChaosConfig(scenarios=("gray-detect",), probe_floor_s=0.0)
         with pytest.raises(ExperimentError):
             ChaosConfig(scenarios=("gray-detect",), probe_ceiling_s=-1.0)
+
+
+class TestAdaptiveAblationKnobs:
+    def test_bundle_turns_on_every_knob(self):
+        config = ChaosConfig(adaptive=True)
+        assert config.use_adaptive_cadence
+        assert config.use_gray_detect
+        assert config.use_flap_margin
+        assert config.any_adaptive
+
+    def test_single_knob_adds_adaptive_arm(self):
+        for knob in ("adaptive_cadence", "gray_detect", "flap_margin"):
+            config = ChaosConfig(**{knob: True})
+            assert config.any_adaptive
+            assert config.arms == ("baseline", "hardened", "adaptive")
+
+    def test_knobs_off_means_two_arms(self):
+        config = ChaosConfig()
+        assert not config.any_adaptive
+        assert config.arms == ("baseline", "hardened")
+
+    def test_knobs_are_independent(self):
+        config = ChaosConfig(gray_detect=True)
+        assert config.use_gray_detect
+        assert not config.use_adaptive_cadence
+        assert not config.use_flap_margin
+
+    def test_gray_detect_knob_alone_detects(self):
+        result = run_chaos(
+            ChaosConfig(
+                scenarios=("gray-detect",), duration_s=900.0, tick_s=15.0,
+                probe_interval_s=30.0, gray_detect=True,
+            )
+        )
+        adaptive = next(
+            o for o in result.outcomes
+            if o.arm == "adaptive" and o.strategy == "controller-best"
+        )
+        assert adaptive.detect_s is not None
