@@ -140,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-scenarios", action="store_true", help="list scenario names and exit"
     )
     chaos.add_argument("--out", help="also dump the result as JSON to this path")
+    _add_exec(chaos)
 
     report = sub.add_parser("report", help="regenerate the whole paper as Markdown")
     _add_common(report)
@@ -253,7 +254,7 @@ def _cmd_control(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.experiments.chaos_exp import ChaosConfig, run_chaos
+    from repro.experiments.chaos_exp import ChaosConfig, run_chaos, run_chaos_exec
     from repro.faults.scenarios import SCENARIOS
 
     if args.list_scenarios:
@@ -288,7 +289,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         probe_floor_s=args.probe_floor,
         probe_ceiling_s=args.probe_ceiling,
     )
-    result = run_chaos(config)
+    runner = _make_runner(args)
+    # The exec path keeps stdout byte-identical to the serial loop:
+    # CI diffs --workers 1 vs --workers 2 output for exactly that.
+    result = run_chaos(config) if runner is None else run_chaos_exec(config, runner)
     print(result.render())
     if args.out:
         from repro.io import dump_json

@@ -9,6 +9,8 @@ scenarios a real overlay meets:
 * :class:`LinkOutage` — one or more links hard-down over a window,
 * :class:`AsOutage` — every link touching an AS down together (the
   "an ISP had a bad day" event),
+* :class:`PopOutage` — every link touching *one PoP* of an AS down
+  (the partial outage BGP can re-converge around),
 * :class:`RouteFlap` — periodic withdraw/re-announce cycles inside a
   window; each edge also forces re-resolution of cached routes,
 * :class:`GrayFailure` — the link stays "up" but silently drops and/or
@@ -35,7 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TopologyError
 
 
 @dataclass(frozen=True, slots=True)
@@ -176,6 +178,57 @@ class AsOutage(LinkOutage):
     def describe(self) -> str:
         """One line naming the failed AS and the affected links."""
         return f"{self.kind} AS{self.asn} " + super().describe().removeprefix(f"{self.kind} ")
+
+
+class PopOutage(LinkOutage):
+    """Every link touching *one PoP* of an AS down together.
+
+    The partial counterpart of :class:`AsOutage` — and the paper's more
+    common reality: transient events at intermediate ISPs rarely take a
+    whole AS dark, they kill one PoP while the AS's other PoPs keep
+    forwarding.  BGP/IGP can therefore re-converge *around* the sick
+    region (:mod:`repro.net.reroute`) instead of abandoning the AS, the
+    behaviour RON showed overlays must compete against.
+    """
+
+    kind = "pop-outage"
+
+    def __init__(
+        self, asn: int, city_name: str, link_ids: tuple[int, ...], window: Window
+    ) -> None:
+        super().__init__(link_ids, window)
+        self.asn = asn
+        self.city_name = city_name
+
+    @classmethod
+    def for_pop(
+        cls, internet, asn: int, city_name: str, window: Window
+    ) -> "PopOutage":
+        """Collect every link touching AS ``asn``'s router in ``city_name``.
+
+        Interconnects, internal backbone links and host access links at
+        the PoP all go down together; the AS's other PoPs are left
+        alone.  Unknown (asn, city) pairs raise :class:`ConfigError`.
+        """
+        try:
+            router = internet.routers.at(asn, city_name)
+        except TopologyError as exc:
+            raise ConfigError(str(exc)) from None
+        link_ids = tuple(
+            link.link_id
+            for link in internet.links_by_id.values()
+            if router.router_id in (link.router_a, link.router_b)
+        )
+        if not link_ids:
+            raise ConfigError(f"AS{asn} PoP {city_name!r} has no links to fail")
+        return cls(asn=asn, city_name=city_name, link_ids=link_ids, window=window)
+
+    def describe(self) -> str:
+        """One line naming the failed PoP and the affected links."""
+        return (
+            f"{self.kind} AS{self.asn}@{self.city_name} "
+            + super().describe().removeprefix(f"{self.kind} ")
+        )
 
 
 class RouteFlap(FaultEvent):

@@ -19,6 +19,12 @@ has something to win:
 * ``flapping-overlay`` — the preferred overlay blinks on a BGP flap
   cycle.  A PR-1 controller chases it through every cycle; quarantine
   parks it after a few failures.
+* ``pop-outage`` — *partial* AS failure: the best overlay's transit AS
+  loses one PoP repeatedly while its sibling PoPs keep forwarding, so
+  the underlay re-converges (:mod:`repro.net.reroute`) and only the
+  paths riding the dead city degrade.  The dead PoP swallows that
+  overlay's probes too; per-path staleness detection decides the
+  contest.
 """
 
 from __future__ import annotations
@@ -26,13 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.pathset import PathSet, PathType
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, RoutingError
 from repro.faults.events import (
     AsOutage,
     CongestionStorm,
     FaultEvent,
     GrayFailure,
     LinkOutage,
+    PopOutage,
     ProbeFaultEvent,
     ProbeFaultKind,
     RouteFlap,
@@ -40,7 +47,8 @@ from repro.faults.events import (
 )
 from repro.net.links import LinkClass
 from repro.net.path import RouterPath
-from repro.net.world import Internet
+from repro.net.reroute import reconvergence_delta_ms
+from repro.net.world import HOST_ID_BASE, Internet
 
 
 @dataclass
@@ -104,6 +112,78 @@ def middle_asn(internet: Internet, pathset: PathSet) -> int:
         raise ExperimentError("direct path has no intermediate routers to fail")
     middle = router_ids[len(router_ids) // 2]
     return internet.routers.get(middle).asn
+
+
+def pop_outage_target(internet: Internet, pathset: PathSet) -> tuple[int, str]:
+    """The first multi-PoP transit PoP the best overlay rides.
+
+    Walks the best overlay's routers in path order and returns the
+    ``(asn, city)`` of the first PoP belonging to a Tier-1/transit AS
+    with sibling PoPs — the AS can re-converge around losing it — whose
+    link set leaves the direct path untouched (the safe harbour must
+    survive a *partial* event).
+    """
+    best = best_overlay_name(pathset)
+    target = next(o.concatenated for o in pathset.options if o.name == best)
+    direct_links = {link.link_id for link in pathset.direct.links}
+    for router_id in target.router_ids:
+        if router_id >= HOST_ID_BASE:
+            continue  # endpoints and overlay VMs, not routers
+        router = internet.routers.get(router_id)
+        if not internet.topology.is_multi_pop_transit(router.asn):
+            continue
+        incident = {
+            link.link_id
+            for link in internet.links_by_id.values()
+            if router_id in (link.router_a, link.router_b)
+        }
+        if incident & direct_links:
+            continue
+        return router.asn, router.city_name
+    raise ExperimentError(
+        f"best overlay {best} crosses no multi-PoP transit PoP disjoint "
+        f"from the direct path; no partial-outage target exists"
+    )
+
+
+def _reconvergence_note(
+    internet: Internet, pathset: PathSet, outage: PopOutage
+) -> str:
+    """Measure what the sibling-PoP detour costs while the PoP is down.
+
+    Temporarily fails the outage's links on the (clean) build-time
+    world, resolves the affected overlay leg live, and restores —
+    purely a read of the converged state, deterministic for a fixed
+    world.
+    """
+    affected = None
+    for option in pathset.options:
+        for leg in (option.leg_to_node, option.leg_from_node):
+            if any(
+                link.link_id in set(outage.link_ids) for link in leg.links
+            ):
+                affected = leg
+                break
+        if affected is not None:
+            break
+    if affected is None:
+        return "no overlay leg crosses the PoP"
+    links = [internet.links_by_id[link_id] for link_id in outage.link_ids]
+    pre_failed = {link.link_id for link in links if link.failed}
+    try:
+        for link in links:
+            link.failed = True
+        delta = reconvergence_delta_ms(
+            internet, affected.src_name, affected.dst_name
+        )
+    except RoutingError:
+        return "no reroute survives the outage"
+    finally:
+        for link in links:
+            link.failed = link.link_id in pre_failed
+    if delta is None:  # pragma: no cover - the leg crosses the PoP
+        return "preferred leg unaffected"
+    return f"re-convergence detour {delta:+.1f} ms RTT"
 
 
 def core_links(path: RouterPath) -> tuple[int, ...]:
@@ -326,6 +406,53 @@ def build_gray_detect(
     )
 
 
+def build_pop_outage(
+    internet: Internet, pathset: PathSet, horizon_s: float
+) -> ChaosScenario:
+    """One transit PoP on the best overlay dies, repeatedly.
+
+    The partial-outage showcase: the direct path is gray for the whole
+    run (parking the controller on the best overlay), then the transit
+    AS that overlay rides loses the *one PoP* on its path in four
+    maintenance-gone-wrong episodes.  The AS itself keeps forwarding —
+    sibling PoPs stay up and the underlay re-converges around the dead
+    city (:mod:`repro.net.reroute`) — so every *other* path keeps
+    answering probes and the event reads as partial degradation, never
+    a probe blackout.  The probes of the affected overlay ride the
+    same dead PoP as its traffic, so each episode swallows them whole:
+    a PR-1 controller keeps trusting its last rosy measurement and
+    sits on the corpse for the full episode, while the hardened
+    controller ages the stale result out, drops the path from view,
+    and moves off within its staleness bound.
+    """
+    gray = GrayFailure(
+        link_ids=(direct_only_link(pathset),),
+        window=Window(start_s=0.0, duration_s=horizon_s),
+        drop_fraction=0.35,
+        extra_delay_ms=40.0,
+    )
+    asn, city = pop_outage_target(internet, pathset)
+    windows = [_w(horizon_s, start_frac, 0.10) for start_frac in (0.20, 0.38, 0.56, 0.74)]
+    episodes = [
+        PopOutage.for_pop(internet, asn, city, window) for window in windows
+    ]
+    best = best_overlay_name(pathset)
+    shadows = [
+        ProbeFaultEvent(window=window, fault=ProbeFaultKind.LOST, labels=(best,))
+        for window in windows
+    ]
+    note = _reconvergence_note(internet, pathset, episodes[0])
+    return ChaosScenario(
+        name="pop-outage",
+        description=(
+            f"overlay {best}'s transit AS{asn} loses its {city} PoP in four "
+            f"episodes, swallowing {best}'s probes ({note}); direct gray"
+        ),
+        events=[gray, *episodes],
+        probe_events=shadows,
+    )
+
+
 #: The classic suite: scenario name -> builder(internet, pathset,
 #: horizon_s).  ``repro chaos`` with no ``--scenario`` runs exactly
 #: these, keeping historical outputs reproducible.
@@ -341,10 +468,13 @@ DEFAULT_SCENARIOS = {
 }
 
 #: Every known scenario, including the gray-failure detection
-#: showcase (``--scenario all`` / ``--scenario gray-detect``).
+#: showcase (``--scenario gray-detect``) and the partial-AS-outage
+#: showcase (``--scenario pop-outage``); ``--scenario all`` runs them
+#: all.
 SCENARIOS = {
     **DEFAULT_SCENARIOS,
     "gray-detect": build_gray_detect,
+    "pop-outage": build_pop_outage,
 }
 
 

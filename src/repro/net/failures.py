@@ -49,6 +49,10 @@ class FailureSchedule:
 
     links_by_id: dict[int, Link]
     events: list[FailureEvent] = field(default_factory=list)
+    #: Links whose ``failed`` flag *this schedule* set.  Only these may
+    #: be restored when their windows end; a link already failed by a
+    #: manual ``fail()`` call stays down until its owner restores it.
+    _held_down: set[int] = field(default_factory=set)
 
     def schedule(self, link_id: int, start_s: float, duration_s: float) -> FailureEvent:
         """Register an outage for ``link_id``."""
@@ -89,13 +93,19 @@ class FailureSchedule:
     def apply(self, t: float) -> None:
         """Set each scheduled link's failed flag to match time ``t``.
 
-        Links never touched by the schedule are left alone, so manual
-        ``fail()`` calls elsewhere are not overridden.
+        Links never touched by the schedule are left alone, and the
+        schedule only restores links *it* failed — a link someone else
+        manually ``fail()``-ed stays down when a scheduled window that
+        happens to overlap it ends.
         """
         for link_id in self.scheduled_links():
             link = self.links_by_id[link_id]
             active = self.down_at(link_id, t)
-            if active and not link.failed:
-                link.fail()
-            elif not active and link.failed:
-                link.restore()
+            if active:
+                if not link.failed:
+                    link.fail()
+                    self._held_down.add(link_id)
+            elif link_id in self._held_down:
+                self._held_down.discard(link_id)
+                if link.failed:
+                    link.restore()

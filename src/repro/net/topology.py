@@ -255,6 +255,21 @@ class Topology:
         """All ASes of a given kind, sorted by ASN."""
         return sorted((a for a in self.ases.values() if a.kind is kind), key=lambda a: a.asn)
 
+    def is_multi_pop_transit(self, asn: int) -> bool:
+        """True for ASes carrying third-party traffic from several PoPs.
+
+        Exactly the ASes a *partial* outage story needs: take one PoP of
+        a Tier-1 or regional transit with >= 2 PoPs dark and the AS
+        keeps forwarding through its sibling PoPs, so BGP/IGP can
+        re-converge around the dead city instead of abandoning the AS
+        (:class:`~repro.faults.events.PopOutage` targeting relies on
+        this; single-PoP or stub-like ASes just go entirely dark).
+        """
+        asys = self.ases.get(asn)
+        if asys is None:
+            raise TopologyError(f"unknown AS{asn}")
+        return asys.kind in (ASKind.TIER1, ASKind.TRANSIT) and len(asys.pop_cities) >= 2
+
     def validate(self) -> None:
         """Check structural sanity: connectivity to the Tier-1 core.
 

@@ -28,6 +28,11 @@ from repro.net.congestion import BackgroundLoad, peak_hour_for_longitude
 from repro.net.failures import FailureSchedule
 from repro.net.links import Link, LinkClass
 from repro.net.path import RouterPath
+from repro.net.reroute import (
+    dark_routers,
+    has_live_internal_route,
+    live_internal_route,
+)
 from repro.net.routers import RouterRegistry
 from repro.net.topology import Relationship, Topology
 from repro.rand import RandomStreams
@@ -405,9 +410,21 @@ class Internet:
         return self._clock_s
 
     def set_time(self, t: float) -> float:
-        """Jump the clock to absolute time ``t`` (seconds, >= 0)."""
+        """Jump the clock to absolute time ``t`` (seconds, >= 0).
+
+        Backwards jumps are allowed — rewind-and-replay is the
+        determinism contract every experiment relies on — but they drop
+        the path cache: a route resolved under the later clock (e.g.
+        mid-flap, after the injector invalidated and re-resolved) must
+        not survive into the replayed history.  Clock hooks are then
+        re-applied at ``t`` as usual; hooks must therefore be pure
+        functions of time (both built-in appliers are), not
+        accumulators that assume monotonic ticks.
+        """
         if t < 0:
             raise ConfigError(f"time must be >= 0, got {t}")
+        if t < self._clock_s:
+            self.invalidate_path_cache()
         self._clock_s = t
         self.failures.apply(self._clock_s)
         for hook in self.clock_hooks:
@@ -465,28 +482,50 @@ class Internet:
         dst = self.host(dst_name)
         candidates = sorted(
             self.bgp.candidate_routes(src.asn, dst.asn),
-            key=lambda r: (r.kind, r.length, r.path),
+            key=lambda r: self._decision_key(src, dst, r),
         )
         for route in candidates:
             candidate = self._expand_as_path(src, dst, route.path)
             if candidate.is_alive():
                 return candidate
+            # Before abandoning the AS path, let it re-converge: detour
+            # the intra-AS meshes around failed links and exit through
+            # surviving interconnects (sibling PoPs of a dead one).
+            try:
+                converged = self._expand_as_path(src, dst, route.path, live=True)
+            except RoutingError:
+                continue
+            if converged.is_alive():
+                return converged
         raise RoutingError(
             f"no live path from {src_name!r} to {dst_name!r}: every candidate "
             f"route crosses a failed link"
         )
 
-    def _expand_as_path(self, src: Host, dst: Host, as_path: tuple[int, ...]) -> RouterPath:
-        """Expand an AS path to routers/links with hot-potato egress."""
+    def _expand_as_path(
+        self, src: Host, dst: Host, as_path: tuple[int, ...], live: bool = False
+    ) -> RouterPath:
+        """Expand an AS path to routers/links with hot-potato egress.
+
+        With ``live=True`` the expansion models post-convergence
+        forwarding: interconnect choice skips dead exits and the
+        intra-AS meshes route around failed links (see
+        :mod:`repro.net.reroute`).  Raises :class:`RoutingError` when
+        the failure pattern leaves the AS path unrealisable.
+        """
         router_ids: list[int] = [src.host_id]
         links: list[Link] = [src.access_link]
         current = src.attachment_router_id
         router_ids.append(current)
 
         for here_asn, next_asn in zip(as_path, as_path[1:]):
-            egress, ingress, cross_link = self._choose_interconnect(here_asn, next_asn, current)
+            egress, ingress, cross_link = self._choose_interconnect(
+                here_asn, next_asn, current, live=live
+            )
             if egress != current:
-                hop_routers, hop_links = self._internal_route(here_asn, current, egress)
+                hop_routers, hop_links = self._internal_route(
+                    here_asn, current, egress, live=live
+                )
                 links.extend(hop_links)
                 router_ids.extend(hop_routers)
             links.append(cross_link)
@@ -495,7 +534,7 @@ class Internet:
 
         if current != dst.attachment_router_id:
             hop_routers, hop_links = self._internal_route(
-                dst.asn, current, dst.attachment_router_id
+                dst.asn, current, dst.attachment_router_id, live=live
             )
             links.extend(hop_links)
             router_ids.extend(hop_routers)
@@ -522,36 +561,51 @@ class Internet:
         if src.asn == dst.asn:
             return (src.asn,)
         candidates = self.bgp.best_candidates(src.asn, dst.asn)
-        src_city = self.routers.get(src.attachment_router_id).city
-
-        def tiebreak(route) -> tuple[int, int, int]:
-            next_asn = route.path[1]
-            relation = self.topology.relation_between(src.asn, next_asn)
-            best_km = float("inf")
-            for city_a, city_b in relation.interconnect_cities:
-                egress_city = city_a if relation.a == src.asn else city_b
-                km = haversine_km(src_city.point, lookup_city(egress_city).point)
-                best_km = min(best_km, km)
-            # Coarse distance buckets: IGP metrics are not geo-precise,
-            # and near-ties break on router-level details that differ
-            # per PoP — modelled as a stable per-(PoP, next-hop) hash.
-            bucket = int(best_km // 500.0)
-            igp_noise = hash((src.attachment_router_id, next_asn, dst.asn)) & 0xFFFF
-            return (bucket, igp_noise, next_asn)
-
-        chosen = min(candidates, key=tiebreak)
+        chosen = min(candidates, key=lambda route: self._decision_key(src, dst, route))
         return chosen.path
 
+    def _decision_key(self, src: Host, dst: Host, route) -> tuple:
+        """Full BGP decision-process sort key for one candidate route.
+
+        ``(LocalPref class, AS-path length, hot-potato tiebreak)`` — the
+        single ordering both the pre-failure selection
+        (:meth:`_select_as_path`) and the post-failure fallback
+        (:meth:`resolve_live_path`) rank candidates by, so convergence
+        never disagrees with the preferred decision process.
+        """
+        if len(route.path) < 2:
+            return (route.kind, route.length, 0, 0, -1)
+        next_asn = route.path[1]
+        relation = self.topology.relation_between(src.asn, next_asn)
+        src_city = self.routers.get(src.attachment_router_id).city
+        best_km = float("inf")
+        for city_a, city_b in relation.interconnect_cities:
+            egress_city = city_a if relation.a == src.asn else city_b
+            km = haversine_km(src_city.point, lookup_city(egress_city).point)
+            best_km = min(best_km, km)
+        # Coarse distance buckets: IGP metrics are not geo-precise,
+        # and near-ties break on router-level details that differ
+        # per PoP — modelled as a stable per-(PoP, next-hop) hash.
+        bucket = int(best_km // 500.0)
+        igp_noise = hash((src.attachment_router_id, next_asn, dst.asn)) & 0xFFFF
+        return (route.kind, route.length, bucket, igp_noise, next_asn)
+
     def _choose_interconnect(
-        self, here_asn: int, next_asn: int, current_router: int
+        self, here_asn: int, next_asn: int, current_router: int, live: bool = False
     ) -> tuple[int, int, Link]:
         """Hot-potato egress: the interconnect whose exit PoP is nearest.
 
         Returns (egress router in here_asn, ingress router in next_asn,
-        crossing link).
+        crossing link).  With ``live=True`` the choice is
+        convergence-aware: interconnects whose crossing link is failed,
+        whose endpoint routers are dark (every attached link down —
+        e.g. a PoP outage), or whose egress the live internal mesh
+        cannot reach are skipped, so traffic exits through a surviving
+        sibling PoP instead.
         """
         relation = self.topology.relation_between(here_asn, next_asn)
         current_city = self.routers.get(current_router).city
+        dark = dark_routers(self) if live else frozenset()
         best: tuple[float, int, int, Link] | None = None
         for city_a, city_b in relation.interconnect_cities:
             if relation.a == here_asn:
@@ -560,27 +614,47 @@ class Internet:
             else:
                 egress = self.routers.at(here_asn, city_b)
                 ingress = self.routers.at(next_asn, city_a)
-            distance = haversine_km(current_city.point, egress.city.point)
             link = self._interconnect[frozenset((egress.router_id, ingress.router_id))]
+            if live:
+                if (
+                    link.failed
+                    or egress.router_id in dark
+                    or ingress.router_id in dark
+                ):
+                    continue
+                if egress.router_id != current_router and not has_live_internal_route(
+                    self, here_asn, current_router, egress.router_id
+                ):
+                    continue
+            distance = haversine_km(current_city.point, egress.city.point)
             candidate = (distance, egress.router_id, ingress.router_id, link)
             if best is None or candidate[:2] < best[:2]:
                 best = candidate
-        if best is None:  # pragma: no cover - relations always have interconnects
-            raise RoutingError(f"no interconnect between AS{here_asn} and AS{next_asn}")
+        if best is None:
+            detail = "live " if live else ""
+            raise RoutingError(
+                f"no {detail}interconnect between AS{here_asn} and AS{next_asn}"
+            )
         return best[1], best[2], best[3]
 
     def _internal_route(
-        self, asn: int, router_a: int, router_b: int
+        self, asn: int, router_a: int, router_b: int, live: bool = False
     ) -> tuple[tuple[int, ...], tuple[Link, ...]]:
         """Shortest intra-AS route from ``router_a`` to ``router_b``.
 
-        Returns (router ids after the start, links in order).
+        Returns (router ids after the start, links in order).  With
+        ``live=True`` and a failed link on the precomputed static
+        route, the IGP re-converges: the route is recomputed over the
+        live internal mesh only (raising :class:`RoutingError` when
+        the failures disconnect the pair).
         """
         route = self._internal_routes.get((router_a, router_b))
         if route is None:
             raise RoutingError(
                 f"AS{asn} has no internal route between routers {router_a} and {router_b}"
             )
+        if live and any(link.failed for link in route[1]):
+            return live_internal_route(self, asn, router_a, router_b)
         return route
 
     # ------------------------------------------------------------------

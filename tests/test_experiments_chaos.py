@@ -80,6 +80,46 @@ class TestReporting:
             showcase.outcome("probe-blackout", "controller-best", "nope")
 
 
+class TestPopOutage:
+    @pytest.fixture(scope="class")
+    def pop_outage(self):
+        """The partial-AS-outage showcase in fast mode (class-scoped: slow)."""
+        return run_chaos(
+            ChaosConfig(
+                scenarios=("pop-outage",), duration_s=900.0, tick_s=5.0,
+                probe_interval_s=15.0,
+            )
+        )
+
+    def test_stale_filter_beats_trusting_lost_probes(self, pop_outage):
+        # The dead PoP swallows the best overlay's probes, so the
+        # baseline keeps serving the last rosy result and rides the
+        # corpse through every episode; the hardened arm's per-path
+        # staleness filter drops the label and switches within one
+        # staleness bound.
+        baseline = pop_outage.outcome("pop-outage", "controller-best", "baseline")
+        hardened = pop_outage.outcome("pop-outage", "controller-best", "hardened")
+        assert baseline.wrong_path_s > 0.0
+        assert hardened.wrong_path_s < baseline.wrong_path_s
+        assert hardened.downtime_s < baseline.downtime_s
+
+    def test_baseline_rides_the_dead_pop_all_episodes(self, pop_outage):
+        # Four 90 s episodes: LOST probes never update last_result, so
+        # the baseline's downtime covers essentially the whole outage.
+        baseline = pop_outage.outcome("pop-outage", "controller-best", "baseline")
+        assert baseline.downtime_s >= 300.0
+
+    def test_partial_outage_is_not_a_blackout(self, pop_outage):
+        # Only one PoP dies: every other path keeps answering probes,
+        # so the hardened arm sees per-path staleness, never a
+        # blackout — no FAILED health transitions (hence zero
+        # quarantines) and goodput keeps flowing between failovers.
+        hardened = pop_outage.outcome("pop-outage", "controller-best", "hardened")
+        assert hardened.quarantines == 0
+        assert hardened.probes_lost > 0
+        assert hardened.mean_goodput_mbps > 0.0
+
+
 class TestAdaptiveArm:
     @pytest.fixture(scope="class")
     def gray_detect(self):

@@ -12,6 +12,7 @@ from repro.faults.events import (
     GrayFailure,
     LinkEffect,
     LinkOutage,
+    PopOutage,
     ProbeFaultEvent,
     ProbeFaultKind,
     RouteFlap,
@@ -79,6 +80,80 @@ class TestDataPlaneEvents:
             assert link.router_a in routers or link.router_b in routers
         assert f"AS{asn}" in event.describe()
 
+    def test_pop_outage_collects_only_pop_links(self, small_internet):
+        asys = next(
+            a for a in small_internet.topology.ases.values() if len(a.pop_cities) >= 2
+        )
+        city = asys.pop_cities[0]
+        router = small_internet.routers.at(asys.asn, city)
+        event = PopOutage.for_pop(small_internet, asys.asn, city, Window(0.0, 10.0))
+        for link_id in event.link_ids:
+            link = small_internet.links_by_id[link_id]
+            assert router.router_id in (link.router_a, link.router_b)
+        assert f"AS{asys.asn}@{city}" in event.describe()
+        assert event.down_windows() == (event.window,)
+
+    def test_pop_outage_unknown_city_rejected(self, small_internet):
+        asn = next(iter(small_internet.topology.ases))
+        with pytest.raises(ConfigError):
+            PopOutage.for_pop(small_internet, asn, "atlantis", Window(0.0, 10.0))
+
+
+class TestOutageAlgebra:
+    """Per-PoP outages partition an AS outage's link set."""
+
+    def multi_pop_as(self, small_internet):
+        return next(
+            a for a in small_internet.topology.ases.values() if len(a.pop_cities) >= 3
+        )
+
+    def test_union_of_pop_outages_is_the_as_outage(self, small_internet):
+        asys = self.multi_pop_as(small_internet)
+        window = Window(0.0, 10.0)
+        whole = set(AsOutage.for_as(small_internet, asys.asn, window).link_ids)
+        union: set[int] = set()
+        for city in asys.pop_cities:
+            union |= set(
+                PopOutage.for_pop(small_internet, asys.asn, city, window).link_ids
+            )
+        assert union == whole
+
+    def test_non_adjacent_pops_fail_disjoint_links(self, small_internet):
+        # Two PoPs of one AS with no direct backbone link between them
+        # must take down disjoint link sets — the partial outages are
+        # independent events.
+        for asys in small_internet.topology.ases.values():
+            if len(asys.pop_cities) < 5:
+                continue
+            routers = {
+                city: small_internet.routers.at(asys.asn, city)
+                for city in asys.pop_cities
+            }
+            for i, city_a in enumerate(asys.pop_cities):
+                for city_b in asys.pop_cities[i + 1 :]:
+                    pair = (
+                        routers[city_a].router_id,
+                        routers[city_b].router_id,
+                    )
+                    if pair in small_internet._internal:
+                        continue
+                    window = Window(0.0, 10.0)
+                    first = set(
+                        PopOutage.for_pop(
+                            small_internet, asys.asn, city_a, window
+                        ).link_ids
+                    )
+                    second = set(
+                        PopOutage.for_pop(
+                            small_internet, asys.asn, city_b, window
+                        ).link_ids
+                    )
+                    assert not (first & second)
+                    return
+        pytest.skip("no non-adjacent PoP pair in this topology")
+
+
+class TestImpairmentEvents:
     def test_gray_failure_effect(self):
         event = GrayFailure(
             link_ids=(1,), window=Window(0.0, 10.0), drop_fraction=0.3,

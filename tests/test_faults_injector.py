@@ -212,6 +212,59 @@ class TestFaultHistoryQueries:
         assert injector.flap_count(link.link_id, since=150.0, until=170.0) == 1
         assert injector.flap_count(link.link_id, since=300.0) == 0
 
+    def test_repeated_pop_outages_count_as_flaps(self, small_internet):
+        from repro.faults.events import PopOutage
+
+        asys = next(
+            a for a in small_internet.topology.ases.values() if len(a.pop_cities) >= 2
+        )
+        city = asys.pop_cities[0]
+        injector = FaultInjector(small_internet)
+        episodes = [
+            PopOutage.for_pop(
+                small_internet, asys.asn, city, Window(start, 50.0)
+            )
+            for start in (100.0, 300.0, 500.0)
+        ]
+        for episode in episodes:
+            injector.add(episode)
+        for link_id in episodes[0].link_ids:
+            assert injector.flap_count(link_id) == 3
+            assert [w.start_s for w in injector.down_windows(link_id)] == [
+                100.0, 300.0, 500.0,
+            ]
+
+    def test_pop_outage_follows_clock(self, small_internet):
+        from repro.faults.events import PopOutage
+        from repro.net.world import HOST_ID_BASE
+
+        asys = next(
+            a for a in small_internet.topology.ases.values() if len(a.pop_cities) >= 2
+        )
+        event = PopOutage.for_pop(
+            small_internet, asys.asn, asys.pop_cities[0], Window(100.0, 50.0)
+        )
+        injector = FaultInjector(small_internet)
+        injector.add(event)
+        injector.install()
+        links = [small_internet.links_by_id[lid] for lid in event.link_ids]
+        small_internet.set_time(120.0)
+        assert all(link.failed for link in links)
+        # Partial outage: the AS keeps other live links (sibling PoPs).
+        survivors = [
+            link
+            for link in small_internet.links_by_id.values()
+            if not link.failed
+            and any(
+                small_internet.routers.get(rid).asn == asys.asn
+                for rid in (link.router_a, link.router_b)
+                if rid < HOST_ID_BASE
+            )
+        ]
+        assert survivors
+        small_internet.set_time(200.0)
+        assert not any(link.failed for link in links)
+
     def test_gray_failures_have_no_down_windows(self, small_internet):
         link = any_link(small_internet)
         injector = FaultInjector(small_internet)

@@ -69,3 +69,29 @@ class TestBuilders:
         assert "gray-failure" in kinds
         assert "link-outage" in kinds
         assert len(scenario.probe_events) == 1
+
+    def test_pop_outage_shape(self, small_internet, pathset):
+        from repro.faults.events import ProbeFaultKind
+        from repro.faults.scenarios import best_overlay_name
+
+        scenario = build_scenario("pop-outage", small_internet, pathset, 3_600.0)
+        kinds = [event.kind for event in scenario.events]
+        assert kinds.count("gray-failure") == 1
+        assert kinds.count("pop-outage") == 4
+        # Probe shadows: one LOST event per episode, scoped to the best
+        # overlay whose transit PoP dies — its probes ride the dead PoP.
+        best = best_overlay_name(pathset)
+        assert len(scenario.probe_events) == 4
+        for shadow, episode in zip(
+            scenario.probe_events,
+            [e for e in scenario.events if e.kind == "pop-outage"],
+        ):
+            assert shadow.fault is ProbeFaultKind.LOST
+            assert shadow.labels == (best,)
+            assert shadow.window == episode.window
+        # Partial degradation: the dead PoP never touches the direct path,
+        # so the controller keeps a live fallback throughout.
+        direct_links = {link.link_id for link in pathset.direct.links}
+        for event in scenario.events:
+            if event.kind == "pop-outage":
+                assert not direct_links & set(event.link_ids)

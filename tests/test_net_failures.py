@@ -78,3 +78,47 @@ class TestValidation:
         schedule.apply(50.0)
         assert link.failed
         link.restore()
+
+
+class TestOwnership:
+    """The schedule restores only links *it* failed."""
+
+    def test_manual_failure_survives_window_end(self, small_internet):
+        # A link failed by hand before an overlapping scheduled window
+        # ends must stay down: the schedule never owned it.
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 100.0, 100.0)
+        link.fail()  # manual, outside any apply()
+        schedule.apply(150.0)  # window active; link already down
+        assert link.failed
+        schedule.apply(250.0)  # window over; manual failure must persist
+        assert link.failed
+        link.restore()
+
+    def test_scheduled_failure_still_restored(self, small_internet):
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 100.0, 100.0)
+        schedule.apply(150.0)  # the schedule itself fails the link
+        assert link.failed
+        schedule.apply(250.0)
+        assert not link.failed
+
+    def test_ownership_resets_each_window(self, small_internet):
+        # Own the link in window one, release it, then respect a manual
+        # failure that lands between the windows.
+        link = victim(small_internet)
+        schedule = small_internet.failures
+        schedule.schedule(link.link_id, 100.0, 50.0)
+        schedule.schedule(link.link_id, 300.0, 50.0)
+        schedule.apply(120.0)
+        assert link.failed
+        schedule.apply(200.0)
+        assert not link.failed
+        link.fail()  # manual failure between the two windows
+        schedule.apply(320.0)
+        assert link.failed
+        schedule.apply(400.0)  # second window ends: manual owner keeps it
+        assert link.failed
+        link.restore()

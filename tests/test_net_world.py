@@ -143,6 +143,22 @@ class TestClockAndFailures:
         with pytest.raises(ConfigError):
             small_internet.set_time(-5.0)
 
+    def test_rewind_invalidates_path_cache(self, small_internet):
+        # A backwards jump is a rewind-and-replay: any path resolved
+        # under later fault state must not be served after it.
+        before = small_internet.resolve_path("client", "server")
+        small_internet.set_time(100.0)
+        small_internet.set_time(0.0)
+        after = small_internet.resolve_path("client", "server")
+        assert after is not before
+        assert after.router_ids == before.router_ids
+
+    def test_forward_jump_keeps_path_cache(self, small_internet):
+        before = small_internet.resolve_path("client", "server")
+        small_internet.set_time(100.0)
+        small_internet.set_time(200.0)
+        assert small_internet.resolve_path("client", "server") is before
+
     def test_scheduled_failure_kills_and_restores_path(self, small_internet):
         path = small_internet.resolve_path("client", "server")
         victim = path.links[len(path.links) // 2]
