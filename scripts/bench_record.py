@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Record a per-PR benchmark snapshot as ``BENCH_<area>.json``.
+
+The BENCH trajectory: every PR that lands a perf-relevant subsystem
+commits a small JSON snapshot of its headline numbers, produced by
+this script, so later sessions can diff "what did this cost when it
+landed" against "what does it cost now" without re-deriving the
+harness.  Snapshots are measurements, not gates — the hard assertions
+live in ``benchmarks/``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/bench_record.py demand
+    PYTHONPATH=src python scripts/bench_record.py demand --out BENCH_demand.json
+
+Each area times three things:
+
+* per-epoch throughput (epochs/sec) and simulated flows/sec,
+* a small sharded campaign's wall-clock at workers=1 and workers=8
+  (fresh caches — measuring compute, not cache hits).
+
+Wall-clock numbers vary by machine; the JSON records the worker
+counts and sizes alongside so the trajectory stays interpretable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _bench_demand() -> dict:
+    """The demand engine's headline numbers (see DESIGN.md §13)."""
+    from repro.exec.runner import ExecConfig, ExecRunner
+    from repro.experiments.demand_exp import (
+        DemandConfig,
+        _build_engine,
+        _study_inputs,
+        run_demand_exec,
+    )
+
+    config = DemandConfig(seed=7, scale="small")
+    pairs, relays, model = _study_inputs(config)
+
+    # Epoch throughput at 100x load: >= 1M concurrent flows per epoch.
+    engine = _build_engine(pairs, relays, model, "qps-weighted", 100.0, config)
+    epochs = 10
+    start = time.perf_counter()
+    total_flows = 0
+    for epoch in range(epochs):
+        total_flows += engine.epoch_metrics(epoch, config.epoch_s)["flows"]
+    elapsed = time.perf_counter() - start
+
+    # Campaign wall-clock at 1 and 8 workers, fresh caches each.
+    campaign = DemandConfig(
+        seed=7, scale="small", epochs=12, levels=(1.0, 8.0, 100.0), epochs_per_shard=3
+    )
+    walls = {}
+    for workers in (1, 8):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = ExecRunner(ExecConfig(workers=workers, cache_dir=cache_dir))
+            begin = time.perf_counter()
+            run_demand_exec(campaign, runner)
+            walls[workers] = round(time.perf_counter() - begin, 3)
+
+    return {
+        "epochs_per_sec": round(epochs / elapsed, 2),
+        "flows_per_sec": round(total_flows / elapsed),
+        "mean_flows_per_epoch": round(total_flows / epochs),
+        "campaign": {
+            "arms": len(campaign.arms),
+            "epochs_per_arm": campaign.epochs,
+            "wall_s_workers_1": walls[1],
+            "wall_s_workers_8": walls[8],
+        },
+    }
+
+
+AREAS = {"demand": _bench_demand}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; writes the snapshot and prints a one-line summary."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("area", choices=sorted(AREAS))
+    parser.add_argument(
+        "--out", default=None, help="output path (default: BENCH_<area>.json)"
+    )
+    args = parser.parse_args(argv)
+
+    numbers = AREAS[args.area]()
+    snapshot = {"area": args.area, "numbers": numbers}
+    target = pathlib.Path(args.out) if args.out else ROOT / f"BENCH_{args.area}.json"
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"[written {target}]")
+    print(json.dumps(numbers, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

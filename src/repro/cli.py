@@ -142,6 +142,28 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", help="also dump the result as JSON to this path")
     _add_exec(chaos)
 
+    demand = sub.add_parser(
+        "demand", help="run the population demand study (load vs overlay win rate)"
+    )
+    _add_common(demand)
+    demand.add_argument(
+        "--epochs", type=int, default=24, help="epochs per arm (default: one day)"
+    )
+    demand.add_argument(
+        "--level", action="append", type=float, default=None, metavar="X",
+        help="offered-load multiplier (repeatable; omitted = the default sweep)",
+    )
+    demand.add_argument(
+        "--rounds", type=int, default=12,
+        help="fixed-point rounds of load-aware re-selection per epoch",
+    )
+    demand.add_argument(
+        "--fast", action="store_true",
+        help="smoke sweep: six epochs over three levels",
+    )
+    demand.add_argument("--out", help="also dump the result as JSON to this path")
+    _add_exec(demand)
+
     report = sub.add_parser("report", help="regenerate the whole paper as Markdown")
     _add_common(report)
     report.add_argument("--out", default="report.md", help="output path (.md)")
@@ -293,6 +315,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # The exec path keeps stdout byte-identical to the serial loop:
     # CI diffs --workers 1 vs --workers 2 output for exactly that.
     result = run_chaos(config) if runner is None else run_chaos_exec(config, runner)
+    print(result.render())
+    if args.out:
+        from repro.io import dump_json
+
+        target = dump_json(result, args.out)
+        print(f"[written {target}]")
+    return 0
+
+
+def _cmd_demand(args: argparse.Namespace) -> int:
+    from repro.experiments.demand_exp import (
+        DemandConfig,
+        run_demand,
+        run_demand_exec,
+    )
+
+    kwargs: dict = {"seed": args.seed, "scale": args.scale, "rounds": args.rounds}
+    if args.fast:
+        kwargs["epochs"] = 6
+        kwargs["levels"] = (1.0, 8.0, 100.0)
+    else:
+        kwargs["epochs"] = args.epochs
+    if args.level:
+        kwargs["levels"] = tuple(args.level)
+    config = DemandConfig(**kwargs)
+    runner = _make_runner(args)
+    # The exec path keeps stdout byte-identical to the serial loop:
+    # CI diffs --workers 1 vs --workers 2 output for exactly that.
+    result = run_demand(config) if runner is None else run_demand_exec(config, runner)
     print(result.render())
     if args.out:
         from repro.io import dump_json
@@ -465,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_control(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "demand":
+            return _cmd_demand(args)
         if args.command == "exec":
             return _cmd_exec(args)
         if args.command == "report":

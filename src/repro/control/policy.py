@@ -16,6 +16,20 @@ paper's spectrum:
 * :class:`MptcpSubflowPolicy` — Sec. VI: keep an MPTCP subflow on every
   usable candidate; health transitions add/prune subflows instead of
   switching a single path.
+
+Two *load-aware* policies extend the set for population-scale demand
+(:mod:`repro.demand`), where relays are shared and saturate:
+
+* :class:`QpsWeightedPolicy` — QPS-weighted balancing: weight every
+  usable relay by probe quality x remaining capacity (a
+  :class:`LoadSignal` feeds utilization), so demand spreads instead of
+  herding onto the single best relay.
+* :class:`AnycastIngressPolicy` — anycast-style ingress assignment:
+  nearest ingress by RTT, optionally spilling off relays above a
+  utilization threshold.
+
+Both expose the relay utilization they acted on through
+:attr:`PolicyDecision.relay_load`, which the decision log renders.
 """
 
 from __future__ import annotations
@@ -48,16 +62,53 @@ class FaultHistory(Protocol):
         ...
 
 
+@runtime_checkable
+class LoadSignal(Protocol):
+    """Anything that can report a relay's current load.
+
+    Load is offered-over-capacity utilization: 0 is idle, 1 is
+    saturated, above 1 is over-subscribed.  Satisfied by
+    :class:`~repro.demand.engine.RelayLoadTracker`; controllers without
+    a load feed simply pass ``None`` to the load-aware policies, which
+    then treat every relay as idle.
+    """
+
+    def relay_load(self, label: str, now: float) -> float:
+        """Current utilization of relay ``label`` at time ``now``."""
+        ...
+
+
 @dataclass(frozen=True, slots=True)
 class PolicyDecision:
-    """The active path set a policy wants, and why."""
+    """The active path set a policy wants, and why.
+
+    ``relay_load`` exposes the per-relay utilization the policy saw
+    when it decided (empty when the policy is not load-aware) — it
+    flows into the decision log so "why did traffic move" is
+    answerable under contention.  ``weights`` is the traffic split a
+    balancing policy wants across ``active`` (empty = single-path
+    semantics: all traffic on ``active[0]``); aggregate engines honour
+    it, single-flow controllers just take the head of ``active``.
+    """
 
     active: tuple[str, ...]
     reason: str
+    relay_load: tuple[tuple[str, float], ...] = ()
+    weights: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if len(set(self.active)) != len(self.active):
             raise ControlError(f"duplicate labels in active set {self.active}")
+        weight_labels = [label for label, _ in self.weights]
+        if len(set(weight_labels)) != len(weight_labels):
+            raise ControlError(f"duplicate labels in weights {self.weights}")
+        unknown = set(weight_labels) - set(self.active)
+        if unknown:
+            raise ControlError(f"weights for labels outside active set: {sorted(unknown)}")
+        if self.weights:
+            total = sum(w for _, w in self.weights)
+            if total <= 0 or any(w < 0 for _, w in self.weights):
+                raise ControlError(f"weights must be non-negative and sum > 0: {self.weights}")
 
 
 class Policy(abc.ABC):
@@ -352,3 +403,179 @@ class MptcpSubflowPolicy(Policy):
                 parts.append(f"prune {'+'.join(pruned)}")
             reason = ", ".join(parts)
         return PolicyDecision(active=active, reason=reason)
+
+
+def _positive_score(label: str, probes: Mapping[str, ProbeResult]) -> float:
+    """A strictly positive quality score for weighting.
+
+    Throughput when the probe measured it; otherwise inverse RTT, so
+    RTT-only probing still yields usable weights.  Unusable or missing
+    probes score zero.
+    """
+    probe = probes.get(label)
+    if probe is None or not probe.ok:
+        return 0.0
+    if probe.throughput_mbps is not None and probe.throughput_mbps > 0:
+        return probe.throughput_mbps
+    if probe.rtt_ms > 0:
+        return 1_000.0 / probe.rtt_ms
+    return 0.0
+
+
+class QpsWeightedPolicy(Policy):
+    """QPS-weighted balancing: spread traffic by quality x headroom.
+
+    Every usable relay gets a weight proportional to its probe score
+    discounted by its current load (``headroom = max(0, 1 - load) +
+    smoothing``): a fast relay near saturation loses to a slightly
+    slower idle one, so a population following this policy spreads
+    instead of herding onto the single best relay.  ``active`` is
+    ordered by weight, so single-path controllers that take
+    ``active[0]`` get the load-discounted best relay; aggregate
+    engines split traffic by :attr:`PolicyDecision.weights`.
+
+    Without a ``load`` signal every relay reads as idle and the policy
+    degrades to score-proportional balancing.
+    """
+
+    name = "qps-weighted"
+
+    def __init__(
+        self,
+        load: LoadSignal | None = None,
+        smoothing: float = 0.05,
+        max_relays: int | None = None,
+    ) -> None:
+        if smoothing <= 0:
+            raise ControlError(f"smoothing must be positive, got {smoothing}")
+        if max_relays is not None and max_relays < 1:
+            raise ControlError(f"max_relays must be >= 1, got {max_relays}")
+        self.load = load
+        self.smoothing = smoothing
+        self.max_relays = max_relays
+
+    def _load_of(self, label: str, now: float) -> float:
+        if self.load is None:
+            return 0.0
+        return max(0.0, self.load.relay_load(label, now))
+
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+        history: FaultHistory | None = None,
+    ) -> PolicyDecision:
+        """Weight every usable relay by probe score x load headroom."""
+        loads = {
+            label: self._load_of(label, now)
+            for label in sorted(health)
+            if self._usable(label, health)
+        }
+        weighted = []
+        for label, load in loads.items():
+            score = _positive_score(label, probes)
+            if score <= 0.0:
+                continue
+            headroom = max(0.0, 1.0 - load) + self.smoothing
+            weighted.append((label, score * headroom))
+        if not weighted:
+            return PolicyDecision(
+                active=(),
+                reason="no usable relay with probe data",
+                relay_load=tuple(sorted(loads.items())),
+            )
+        weighted.sort(key=lambda item: (-item[1], item[0]))
+        if self.max_relays is not None:
+            weighted = weighted[: self.max_relays]
+        total = sum(w for _, w in weighted)
+        active = tuple(label for label, _ in weighted)
+        peak = max(loads[label] for label in active)
+        return PolicyDecision(
+            active=active,
+            reason=(
+                f"qps-weighted over {len(active)} relay(s), "
+                f"peak load {peak:.2f}"
+            ),
+            relay_load=tuple(sorted((label, loads[label]) for label in active)),
+            weights=tuple((label, w / total) for label, w in weighted),
+        )
+
+
+class AnycastIngressPolicy(Policy):
+    """Anycast-style ingress assignment: nearest relay, spill when hot.
+
+    Clients attach to the relay with the lowest *ingress* RTT (the
+    client <-> relay leg, :attr:`ProbeResult.ingress_rtt_ms`; full-path
+    RTT when the prober did not measure the leg), the way anycast
+    routing would assign them — load-blind by default, which is
+    exactly the failure mode the demand study measures.  With a
+    ``load`` signal, an ingress at or above ``spill_threshold``
+    utilization is skipped and traffic spills to the next-nearest cool
+    relay; if every relay is hot the nearest one keeps the traffic
+    (anycast cannot shed load it cannot see elsewhere).
+    """
+
+    name = "anycast"
+
+    def __init__(
+        self, load: LoadSignal | None = None, spill_threshold: float = 0.95
+    ) -> None:
+        if spill_threshold <= 0:
+            raise ControlError(f"spill threshold must be positive, got {spill_threshold}")
+        self.load = load
+        self.spill_threshold = spill_threshold
+
+    def _load_of(self, label: str, now: float) -> float:
+        if self.load is None:
+            return 0.0
+        return max(0.0, self.load.relay_load(label, now))
+
+    @staticmethod
+    def _ingress_rtt(label: str, probes: Mapping[str, ProbeResult]) -> float:
+        probe = probes.get(label)
+        if probe is None or not probe.ok:
+            return math.inf
+        if probe.ingress_rtt_ms is not None:
+            return probe.ingress_rtt_ms
+        return probe.rtt_ms
+
+    def decide(
+        self,
+        now: float,
+        health: Mapping[str, PathHealth],
+        probes: Mapping[str, ProbeResult],
+        current: tuple[str, ...],
+        history: FaultHistory | None = None,
+    ) -> PolicyDecision:
+        """Assign to the nearest usable ingress, spilling off hot ones."""
+        ranked = sorted(
+            (
+                (self._ingress_rtt(label, probes), label)
+                for label in health
+                if self._usable(label, health)
+            ),
+            key=lambda item: (item[0], item[1]),
+        )
+        ranked = [(rtt, label) for rtt, label in ranked if math.isfinite(rtt)]
+        if not ranked:
+            return PolicyDecision(active=(), reason="no usable ingress")
+        loads = {label: self._load_of(label, now) for _, label in ranked}
+        nearest = ranked[0][1]
+        chosen = next(
+            (label for _, label in ranked if loads[label] < self.spill_threshold),
+            nearest,
+        )
+        if chosen == nearest:
+            reason = f"nearest ingress {nearest} ({ranked[0][0]:.1f} ms)"
+        else:
+            reason = (
+                f"spill from {nearest} (load {loads[nearest]:.2f}) "
+                f"to {chosen} (load {loads[chosen]:.2f})"
+            )
+        return PolicyDecision(
+            active=(chosen,),
+            reason=reason,
+            relay_load=tuple(sorted(loads.items())),
+        )

@@ -53,6 +53,10 @@ class ProbeResult:
     loss: float
     throughput_mbps: float | None
     bytes_cost: int
+    #: RTT to the path's ingress relay only (client <-> relay leg),
+    #: when the prober measured it separately.  Anycast-style ingress
+    #: assignment ranks on this; ``None`` falls back to ``rtt_ms``.
+    ingress_rtt_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.bytes_cost < 0:

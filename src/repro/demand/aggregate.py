@@ -1,0 +1,195 @@
+"""The fluid/aggregate epoch layer: cost per (path, epoch), not per flow.
+
+:class:`~repro.transport.fluid.FluidSimulator` advances one Python
+object per flow per tick — the right fidelity for a handful of MPTCP
+subflows, hopeless for a population.  This module is the aggregate
+layer above it: flows collapse into **classes** (same path, same
+per-flow demand), a class carries a *count* (an integer that may be in
+the millions), and one epoch is solved in a handful of vectorized
+numpy passes over the (class, resource) incidence — the same
+demand-vs-capacity fluid argument as the tick loop, amortized over an
+epoch instead of re-derived every 5 ms.
+
+The solver is deterministic (fixed iteration count, pure numpy) and
+its cost is O(classes x hops x iterations): independent of the flow
+counts, which is what lets an epoch sustain millions of concurrent
+flows without a single per-flow Python object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Fixed-point iterations of the capped-allocation solve.  Classes
+#: crossing a single bottleneck converge in one pass; chains of
+#: bottlenecks converge geometrically — eight passes is plenty for
+#: the path lengths overlays see.
+SOLVER_ITERATIONS = 8
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """One shared capacity: a relay's effective NIC/CPU, a link, a port."""
+
+    label: str
+    capacity_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ConfigError(
+                f"resource {self.label!r} capacity must be positive, "
+                f"got {self.capacity_mbps}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FlowClass:
+    """``count`` identical flows over the same resource sequence.
+
+    ``resources`` holds indices into the epoch's resource list; an
+    empty tuple models a path whose bottleneck is elsewhere (the wide
+    Internet absorbs it) — such a class always gets its demand.
+    """
+
+    label: str
+    count: float
+    per_flow_mbps: float
+    resources: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigError(f"class {self.label!r} count must be >= 0")
+        if self.per_flow_mbps < 0:
+            raise ConfigError(f"class {self.label!r} per-flow demand must be >= 0")
+
+    @property
+    def demand_mbps(self) -> float:
+        """Aggregate offered rate of the class."""
+        return self.count * self.per_flow_mbps
+
+
+@dataclass
+class EpochAllocation:
+    """One epoch's solved allocation, per class and per resource."""
+
+    classes: tuple[FlowClass, ...]
+    resources: tuple[Resource, ...]
+    #: Achieved per-flow rate per class (Mbps), aligned with ``classes``.
+    per_flow_mbps: np.ndarray
+    #: Offered load per resource (Mbps) — demand, before capping.
+    offered_mbps: np.ndarray
+    #: Carried load per resource (Mbps) — after capping.
+    carried_mbps: np.ndarray
+
+    def achieved_mbps(self, class_index: int) -> float:
+        """Aggregate achieved rate of one class."""
+        return float(self.per_flow_mbps[class_index] * self.classes[class_index].count)
+
+    def utilization(self, resource_index: int) -> float:
+        """Offered load over capacity (may exceed 1 when saturated)."""
+        return float(
+            self.offered_mbps[resource_index]
+            / self.resources[resource_index].capacity_mbps
+        )
+
+    def loss_fraction(self, resource_index: int) -> float:
+        """Fraction of offered load the resource could not carry."""
+        offered = float(self.offered_mbps[resource_index])
+        if offered <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - float(self.carried_mbps[resource_index]) / offered)
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """Achieved over offered across the whole population."""
+        offered = sum(c.demand_mbps for c in self.classes)
+        if offered <= 0.0:
+            return 1.0
+        achieved = float(
+            sum(self.achieved_mbps(i) for i in range(len(self.classes)))
+        )
+        return achieved / offered
+
+
+def solve_epoch(
+    classes: tuple[FlowClass, ...] | list[FlowClass],
+    resources: tuple[Resource, ...] | list[Resource],
+    iterations: int = SOLVER_ITERATIONS,
+) -> EpochAllocation:
+    """Solve one epoch's demand-vs-capacity allocation.
+
+    Fixed-point iteration of the fluid layer's over-demand argument:
+    compute per-resource load from current rates, derive the scale
+    factor ``min(1, capacity / load)``, and cap every class at its
+    most-binding resource, damped toward the fixed point.  Rates never
+    exceed demand and never go negative; a class with no resources
+    keeps its demand untouched.
+    """
+    classes = tuple(classes)
+    resources = tuple(resources)
+    if iterations < 1:
+        raise ConfigError(f"iterations must be >= 1, got {iterations}")
+    for cls in classes:
+        for idx in cls.resources:
+            if not 0 <= idx < len(resources):
+                raise ConfigError(
+                    f"class {cls.label!r} references resource {idx}, "
+                    f"but only {len(resources)} exist"
+                )
+
+    n_classes = len(classes)
+    n_resources = len(resources)
+    desired = np.array([c.demand_mbps for c in classes], dtype=np.float64)
+    capacity = np.array([r.capacity_mbps for r in resources], dtype=np.float64)
+
+    # (class, resource) incidence as flat scatter indices.
+    ci = np.array(
+        [i for i, c in enumerate(classes) for _ in c.resources], dtype=np.intp
+    )
+    ri = np.array(
+        [idx for c in classes for idx in c.resources], dtype=np.intp
+    )
+
+    rate = desired.copy()
+    offered = np.zeros(n_resources, dtype=np.float64)
+    if n_resources:
+        np.add.at(offered, ri, desired[ci])
+
+    if ci.size:
+        for _ in range(iterations):
+            load = np.zeros(n_resources, dtype=np.float64)
+            np.add.at(load, ri, rate[ci])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scale = np.where(load > capacity, capacity / load, 1.0)
+            binding = np.ones(n_classes, dtype=np.float64)
+            np.minimum.at(binding, ci, scale[ri])
+            candidate = np.minimum(desired, rate * binding)
+            # Damping keeps chained-bottleneck iterates from ringing.
+            rate = np.minimum(desired, 0.5 * (rate + candidate))
+        # One final hard projection so no resource ends over capacity.
+        load = np.zeros(n_resources, dtype=np.float64)
+        np.add.at(load, ri, rate[ci])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(load > capacity, capacity / load, 1.0)
+        binding = np.ones(n_classes, dtype=np.float64)
+        np.minimum.at(binding, ci, scale[ri])
+        rate = rate * binding
+
+    carried = np.zeros(n_resources, dtype=np.float64)
+    if ci.size:
+        np.add.at(carried, ri, rate[ci])
+
+    counts = np.array([c.count for c in classes], dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_flow = np.where(counts > 0, rate / counts, 0.0)
+    return EpochAllocation(
+        classes=classes,
+        resources=resources,
+        per_flow_mbps=per_flow,
+        offered_mbps=offered,
+        carried_mbps=carried,
+    )

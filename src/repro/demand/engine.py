@@ -1,0 +1,340 @@
+"""The demand engine: one epoch of population load through shared relays.
+
+Ties the package together.  Per epoch the engine:
+
+1. samples per-city concurrent flows from the
+   :class:`~repro.demand.model.DemandModel` (Poisson, seeded per
+   (city, epoch) so epochs shard freely),
+2. splits each city's flows across its (client, server) pairs,
+3. asks a :class:`~repro.control.policy.Policy` which relay(s) each
+   pair should ride — iterating a few fixed-point rounds so load-aware
+   policies see the load their own assignment creates,
+4. solves the epoch with the aggregate layer
+   (:func:`~repro.demand.aggregate.solve_epoch`): relay capacities come
+   from :class:`~repro.demand.relay.RelayCapacity` *at the assigned
+   concurrency*, so CPU upkeep feedback is in the loop,
+5. scores the paper's question per pair: would a fresh bulk transfer
+   do better through the (loaded) overlay or direct?  The fraction of
+   pairs where the overlay still wins is the epoch's win rate — the
+   number that sits at ~78 % when relays are idle and inverts as they
+   saturate.
+
+Everything is a pure function of (static pair routes, config, epoch
+index): no state carries across epochs, which is what lets
+``repro demand --workers N`` partition epochs across workers with
+byte-identical results at any N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.health import PathHealth
+from repro.control.policy import Policy, PolicyDecision
+from repro.control.probes import ProbeResult
+from repro.demand.aggregate import FlowClass, Resource, solve_epoch
+from repro.demand.model import DemandModel
+from repro.demand.relay import RelayCapacity
+from repro.errors import ConfigError
+
+#: Fixed-point rounds of (decide -> load -> decide) inside one epoch.
+#: The load signal is the running mean of the round snapshots
+#: (fictitious play): synchronous best-response would make every pair
+#: flee a hot relay at once and ring in a period-2 cycle, while the
+#: 1/k-step average provably settles congestion games of this shape —
+#: a dozen rounds lands within a few percent of the balanced point.
+DEFAULT_ROUNDS = 12
+
+
+@dataclass(frozen=True, slots=True)
+class PairRoutes:
+    """Static route quality for one (client, server) pair.
+
+    Uncontended per-flow rates come from the paper's path machinery
+    (split-overlay mode, the 78 %-winning configuration); the demand
+    engine layers relay contention on top.
+    """
+
+    pair_id: int
+    client: str
+    server: str
+    city: str
+    direct_mbps: float
+    #: (relay label, uncontended split-overlay Mbps), sorted by label.
+    overlay_mbps: tuple[tuple[str, float], ...]
+    #: (relay label, full overlay-path RTT ms), sorted by label.
+    overlay_rtt_ms: tuple[tuple[str, float], ...]
+    #: (relay label, client<->relay leg RTT ms), sorted by label.
+    ingress_rtt_ms: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        labels = [label for label, _ in self.overlay_mbps]
+        if not labels:
+            raise ConfigError(f"pair {self.client}->{self.server} has no overlay routes")
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate relay labels for pair {self.pair_id}: {labels}")
+
+
+class RelayLoadTracker:
+    """Mutable per-relay utilization, the engine's :class:`LoadSignal`.
+
+    The engine writes utilization after each fixed-point round; the
+    load-aware policies read it through
+    :meth:`~repro.control.policy.LoadSignal.relay_load`.
+    """
+
+    def __init__(self) -> None:
+        self._loads: dict[str, float] = {}
+
+    def set_loads(self, loads: dict[str, float]) -> None:
+        """Replace the current utilization snapshot."""
+        self._loads = dict(loads)
+
+    def reset(self) -> None:
+        """Zero every relay (start of an epoch: no state crosses epochs)."""
+        self._loads = {}
+
+    def relay_load(self, label: str, now: float) -> float:
+        """Utilization of ``label`` (0.0 when unknown)."""
+        return self._loads.get(label, 0.0)
+
+
+class DemandEngine:
+    """Population demand through shared relays, one epoch at a time."""
+
+    def __init__(
+        self,
+        pairs: list[PairRoutes] | tuple[PairRoutes, ...],
+        relays: list[RelayCapacity] | tuple[RelayCapacity, ...],
+        model: DemandModel,
+        policy: Policy,
+        tracker: RelayLoadTracker | None = None,
+        flow_rate_mbps: float = 0.02,
+        mean_flow_s: float = 120.0,
+        load_scale: float = 1.0,
+        rounds: int = DEFAULT_ROUNDS,
+    ) -> None:
+        if not pairs:
+            raise ConfigError("demand engine needs at least one pair")
+        if not relays:
+            raise ConfigError("demand engine needs at least one relay")
+        if flow_rate_mbps <= 0:
+            raise ConfigError(f"flow_rate_mbps must be positive, got {flow_rate_mbps}")
+        if mean_flow_s <= 0:
+            raise ConfigError(f"mean_flow_s must be positive, got {mean_flow_s}")
+        if load_scale < 0:
+            raise ConfigError(f"load_scale must be >= 0, got {load_scale}")
+        if rounds < 1:
+            raise ConfigError(f"rounds must be >= 1, got {rounds}")
+        self.pairs = tuple(sorted(pairs, key=lambda p: p.pair_id))
+        self.relays = {r.label: r for r in relays}
+        if len(self.relays) != len(relays):
+            raise ConfigError("duplicate relay labels")
+        self.relay_labels = tuple(sorted(self.relays))
+        self.model = model
+        self.policy = policy
+        self.tracker = tracker if tracker is not None else RelayLoadTracker()
+        self.flow_rate_mbps = flow_rate_mbps
+        self.mean_flow_s = mean_flow_s
+        self.load_scale = load_scale
+        self.rounds = rounds
+
+        # Health is static (every relay usable) and probes are static
+        # (uncontended route quality); only the load signal varies, so
+        # both are built once and shared across epochs and rounds.
+        self._health = {
+            label: PathHealth(label=label) for label in self.relay_labels
+        }
+        self._probes: dict[int, dict[str, ProbeResult]] = {
+            pair.pair_id: self._pair_probes(pair) for pair in self.pairs
+        }
+        self._city_pairs: dict[str, list[PairRoutes]] = {}
+        for pair in self.pairs:
+            self._city_pairs.setdefault(pair.city, []).append(pair)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pair_probes(pair: PairRoutes) -> dict[str, ProbeResult]:
+        """Synthesized probe results carrying the pair's route quality."""
+        rtts = dict(pair.overlay_rtt_ms)
+        ingress = dict(pair.ingress_rtt_ms)
+        probes = {}
+        for label, mbps in pair.overlay_mbps:
+            probes[label] = ProbeResult(
+                label=label,
+                at_time=0.0,
+                ok=True,
+                rtt_ms=rtts.get(label, 0.0),
+                loss=0.0,
+                throughput_mbps=mbps,
+                bytes_cost=0,
+                ingress_rtt_ms=ingress.get(label),
+            )
+        return probes
+
+    def _pair_flows(self, city_flows: dict[str, int]) -> dict[int, int]:
+        """Deterministic integer split of each city's flows across pairs.
+
+        Floor division plus remainder to the lowest pair ids — a pure
+        function of the counts, independent of iteration order.
+        """
+        per_pair: dict[int, int] = {}
+        for city, members in sorted(self._city_pairs.items()):
+            flows = city_flows.get(city, 0)
+            base, remainder = divmod(flows, len(members))
+            for i, pair in enumerate(sorted(members, key=lambda p: p.pair_id)):
+                per_pair[pair.pair_id] = base + (1 if i < remainder else 0)
+        return per_pair
+
+    def _decide_weights(self, now: float) -> dict[int, dict[str, float]]:
+        """One round of policy decisions, mapped to per-relay splits."""
+        weights: dict[int, dict[str, float]] = {}
+        for pair in self.pairs:
+            decision = self.policy.decide(
+                now, self._health, self._probes[pair.pair_id], current=()
+            )
+            weights[pair.pair_id] = self._split(decision)
+        return weights
+
+    @staticmethod
+    def _split(decision: PolicyDecision) -> dict[str, float]:
+        """A decision's traffic split: its weights, or all on the head."""
+        if decision.weights:
+            total = sum(w for _, w in decision.weights)
+            return {label: w / total for label, w in decision.weights}
+        if decision.active:
+            return {decision.active[0]: 1.0}
+        return {}
+
+    def _relay_assignment(
+        self, per_pair: dict[int, int], weights: dict[int, dict[str, float]]
+    ) -> tuple[dict[str, float], dict[str, float], dict[str, float]]:
+        """Per-relay flow counts, offered Mbps, capacity at that count."""
+        flows = {label: 0.0 for label in self.relay_labels}
+        for pair in self.pairs:
+            n = per_pair[pair.pair_id]
+            for label, w in weights[pair.pair_id].items():
+                flows[label] += n * w
+        demand = {label: flows[label] * self.flow_rate_mbps for label in flows}
+        capacity = {
+            label: self.relays[label].capacity_mbps(flows[label]) for label in flows
+        }
+        return flows, demand, capacity
+
+    # ------------------------------------------------------------------
+    def epoch_metrics(self, epoch_index: int, epoch_s: float) -> dict:
+        """Run one epoch; returns a JSON-safe metrics dict.
+
+        The epoch is anchored at its midpoint.  State never crosses
+        epochs: the load tracker starts from zero and converges inside
+        the epoch's fixed-point rounds, so any worker can compute any
+        epoch in isolation.
+        """
+        if epoch_s <= 0:
+            raise ConfigError(f"epoch_s must be positive, got {epoch_s}")
+        t = (epoch_index + 0.5) * epoch_s
+        city_flows = self.model.sample_concurrent(
+            epoch_index, t, self.mean_flow_s, scale=self.load_scale
+        )
+        per_pair = self._pair_flows(city_flows)
+
+        self.tracker.reset()
+        weights: dict[int, dict[str, float]] = {}
+        flows: dict[str, float] = {}
+        demand: dict[str, float] = {}
+        capacity: dict[str, float] = {}
+        signal = {label: 0.0 for label in self.relay_labels}
+        for round_index in range(self.rounds):
+            weights = self._decide_weights(t)
+            flows, demand, capacity = self._relay_assignment(per_pair, weights)
+            snapshot = {
+                label: (
+                    demand[label] / capacity[label]
+                    if capacity[label] > 0
+                    else float("inf")
+                )
+                for label in self.relay_labels
+            }
+            # Fictitious play: the signal is the running mean of every
+            # round's snapshot, so synchronous re-decisions cannot ring.
+            signal = {
+                label: signal[label]
+                + (snapshot[label] - signal[label]) / (round_index + 1)
+                for label in self.relay_labels
+            }
+            self.tracker.set_loads(signal)
+
+        # The aggregate solve: one resource per relay (capacity at the
+        # assigned concurrency), one flow class per (pair, relay).
+        resources = tuple(
+            Resource(label=label, capacity_mbps=max(capacity[label], 1e-9))
+            for label in self.relay_labels
+        )
+        resource_index = {label: i for i, label in enumerate(self.relay_labels)}
+        classes = []
+        for pair in self.pairs:
+            n = per_pair[pair.pair_id]
+            for label, w in sorted(weights[pair.pair_id].items()):
+                count = n * w
+                if count <= 0:
+                    continue
+                classes.append(
+                    FlowClass(
+                        label=f"pair{pair.pair_id}/{label}",
+                        count=count,
+                        per_flow_mbps=self.flow_rate_mbps,
+                        resources=(resource_index[label],),
+                    )
+                )
+        allocation = solve_epoch(tuple(classes), resources)
+
+        wins = 0
+        for pair in self.pairs:
+            if self._marginal_overlay_mbps(pair, weights, flows, demand, capacity) > pair.direct_mbps:
+                wins += 1
+        win_rate = wins / len(self.pairs)
+
+        relay_stats = {}
+        for label in self.relay_labels:
+            idx = resource_index[label]
+            relay_stats[label] = {
+                "flows": round(flows[label], 3),
+                "demand_mbps": round(demand[label], 6),
+                "capacity_mbps": round(capacity[label], 6),
+                "utilization": round(allocation.utilization(idx), 6),
+                "loss": round(allocation.loss_fraction(idx), 6),
+            }
+        return {
+            "epoch": epoch_index,
+            "t_s": t,
+            "flows": int(sum(city_flows.values())),
+            "win_rate": round(win_rate, 6),
+            "satisfied": round(allocation.satisfied_fraction, 6),
+            "peak_utilization": round(
+                max(relay_stats[label]["utilization"] for label in self.relay_labels), 6
+            ),
+            "relays": relay_stats,
+        }
+
+    def _marginal_overlay_mbps(
+        self,
+        pair: PairRoutes,
+        weights: dict[int, dict[str, float]],
+        flows: dict[str, float],
+        demand: dict[str, float],
+        capacity: dict[str, float],
+    ) -> float:
+        """What a fresh bulk transfer would get through the overlay now.
+
+        The pair rides the relay its policy favours; the transfer gets
+        the route's uncontended rate, capped by the relay's headroom —
+        or, when the relay is saturated, by one fair flow share.
+        """
+        split = weights[pair.pair_id]
+        if not split:
+            return 0.0
+        relay = max(sorted(split), key=lambda label: split[label])
+        uncontended = dict(pair.overlay_mbps).get(relay, 0.0)
+        headroom = max(capacity[relay] - demand[relay], 0.0)
+        fair_share = capacity[relay] / max(flows[relay], 1.0)
+        return min(uncontended, max(headroom, fair_share))

@@ -11,35 +11,35 @@ Each link carries a deterministic load process composed of three parts:
   events at an intermediate ISP" the paper observed in its longitudinal
   study (Sec. IV).
 
-The process is a pure function of (link seed, time), so any time point
-can be queried without simulating forward, and results are identical
-across runs with the same world seed.
+The diurnal and episode machinery lives in :mod:`repro.net.diurnal`
+(shared with the demand engine); this module keeps the link-utilization
+composition.  The process is a pure function of (link seed, time), so
+any time point can be queried without simulating forward, and results
+are identical across runs with the same world seed.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import ConfigError
-from repro.units import SECONDS_PER_HOUR, check_fraction
+from repro.net.diurnal import (
+    SECONDS_PER_DAY,
+    DiurnalCurve,
+    Episode,
+    EpisodeProcess,
+    peak_hour_for_longitude,
+)
+from repro.units import check_fraction
 
-SECONDS_PER_DAY = 24.0 * SECONDS_PER_HOUR
-
-
-@dataclass(frozen=True, slots=True)
-class Episode:
-    """One congestion episode: extra utilization over a time interval."""
-
-    start_s: float
-    duration_s: float
-    extra_util: float
-
-    def active_at(self, t: float) -> bool:
-        """True if the episode covers absolute time ``t`` (seconds)."""
-        return self.start_s <= t < self.start_s + self.duration_s
+__all__ = [
+    "SECONDS_PER_DAY",
+    "BackgroundLoad",
+    "DiurnalCurve",
+    "Episode",
+    "EpisodeProcess",
+    "peak_hour_for_longitude",
+]
 
 
 @dataclass(slots=True)
@@ -70,7 +70,8 @@ class BackgroundLoad:
     episode_severity: float = 0.2
     episode_mean_duration_s: float = 2_700.0
     seed: int = 0
-    _episode_cache: dict[int, tuple[Episode, ...]] = field(default_factory=dict)
+    _diurnal: DiurnalCurve = field(init=False, repr=False)
+    _episodes: EpisodeProcess = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_fraction(self.base_util, "base_util")
@@ -79,55 +80,21 @@ class BackgroundLoad:
             raise ConfigError(f"episode rate must be >= 0, got {self.episode_rate_per_day}")
         if not 0.0 <= self.peak_hour < 24.0:
             raise ConfigError(f"peak_hour must be in [0, 24), got {self.peak_hour}")
+        self._diurnal = DiurnalCurve(amplitude=self.diurnal_amp, peak_hour=self.peak_hour)
+        self._episodes = EpisodeProcess(
+            rate_per_day=self.episode_rate_per_day,
+            mean_severity=self.episode_severity,
+            mean_duration_s=self.episode_mean_duration_s,
+            seed=self.seed,
+        )
 
     def _episodes_for_day(self, day: int) -> tuple[Episode, ...]:
-        """Generate (and cache) the episode schedule for one day."""
-        cached = self._episode_cache.get(day)
-        if cached is not None:
-            return cached
-        rng = np.random.default_rng((self.seed * 1_000_003 + day) & 0x7FFF_FFFF)
-        count = int(rng.poisson(self.episode_rate_per_day))
-        episodes = []
-        day_start = day * SECONDS_PER_DAY
-        for _ in range(count):
-            start = day_start + rng.uniform(0.0, SECONDS_PER_DAY)
-            duration = float(rng.exponential(self.episode_mean_duration_s))
-            extra = float(rng.uniform(0.5, 1.5) * self.episode_severity)
-            episodes.append(Episode(start_s=start, duration_s=duration, extra_util=extra))
-        result = tuple(episodes)
-        self._episode_cache[day] = result
-        return result
-
-    def _episode_extra(self, t: float) -> float:
-        """Total extra utilization from episodes active at time ``t``.
-
-        Episodes may spill past midnight, so the previous day's schedule
-        is consulted as well.
-        """
-        day = int(t // SECONDS_PER_DAY)
-        extra = 0.0
-        for d in (day - 1, day):
-            if d < 0:
-                continue
-            for ep in self._episodes_for_day(d):
-                if ep.active_at(t):
-                    extra += ep.extra_util
-        return extra
+        """The episode schedule for one day (kept for introspection)."""
+        return self._episodes.episodes_for_day(day)
 
     def utilization(self, t: float) -> float:
         """Utilization of the link at absolute time ``t`` (seconds)."""
         if t < 0:
             raise ConfigError(f"time must be >= 0, got {t}")
-        hour = (t / SECONDS_PER_HOUR) % 24.0
-        diurnal = self.diurnal_amp * math.cos(2.0 * math.pi * (hour - self.peak_hour) / 24.0)
-        util = self.base_util + diurnal + self._episode_extra(t)
+        util = self.base_util + self._diurnal.offset(t) + self._episodes.extra_at(t)
         return min(max(util, 0.0), 0.995)
-
-
-def peak_hour_for_longitude(lon: float) -> float:
-    """Approximate local evening peak (20:00 local) as a UTC hour.
-
-    Link load follows the population it serves; we map longitude to a
-    UTC offset of ``lon / 15`` hours.
-    """
-    return (20.0 - lon / 15.0) % 24.0

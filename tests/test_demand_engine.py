@@ -1,0 +1,145 @@
+"""The demand engine: epoch metrics, determinism, load feedback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.control.policy import BestPathPolicy, QpsWeightedPolicy
+from repro.demand.engine import DemandEngine, PairRoutes, RelayLoadTracker
+from repro.demand.model import DemandModel
+from repro.demand.relay import RelayCapacity
+from repro.errors import ConfigError
+
+CITY = "london"
+
+
+def pair(pair_id: int, direct: float, ams: float, dc: float) -> PairRoutes:
+    return PairRoutes(
+        pair_id=pair_id,
+        client=f"c{pair_id}",
+        server=f"s{pair_id}",
+        city=CITY,
+        direct_mbps=direct,
+        overlay_mbps=(("ams", ams), ("dc", dc)),
+        overlay_rtt_ms=(("ams", 80.0), ("dc", 120.0)),
+        ingress_rtt_ms=(("ams", 10.0), ("dc", 70.0)),
+    )
+
+
+def make_engine(policy=None, load_scale: float = 1.0, **kwargs) -> DemandEngine:
+    tracker = RelayLoadTracker()
+    return DemandEngine(
+        pairs=[pair(0, 5.0, 12.0, 9.0), pair(1, 20.0, 15.0, 14.0)],
+        relays=[
+            RelayCapacity(label="ams", nic_mbps=10_000.0),
+            RelayCapacity(label="dc", nic_mbps=10_000.0),
+        ],
+        model=DemandModel.build({CITY: 12}, seed=7),
+        policy=policy if policy is not None else QpsWeightedPolicy(load=tracker),
+        tracker=tracker,
+        load_scale=load_scale,
+        **kwargs,
+    )
+
+
+class TestPairRoutes:
+    def test_rejects_pair_without_overlays(self):
+        with pytest.raises(ConfigError):
+            PairRoutes(
+                pair_id=0, client="c", server="s", city=CITY, direct_mbps=1.0,
+                overlay_mbps=(), overlay_rtt_ms=(), ingress_rtt_ms=(),
+            )
+
+    def test_rejects_duplicate_relays(self):
+        with pytest.raises(ConfigError):
+            PairRoutes(
+                pair_id=0, client="c", server="s", city=CITY, direct_mbps=1.0,
+                overlay_mbps=(("ams", 1.0), ("ams", 2.0)),
+                overlay_rtt_ms=(), ingress_rtt_ms=(),
+            )
+
+
+class TestRelayLoadTracker:
+    def test_set_reset_read(self):
+        tracker = RelayLoadTracker()
+        assert tracker.relay_load("ams", 0.0) == 0.0
+        tracker.set_loads({"ams": 0.7})
+        assert tracker.relay_load("ams", 10.0) == 0.7
+        tracker.reset()
+        assert tracker.relay_load("ams", 20.0) == 0.0
+
+
+class TestEngineValidation:
+    def test_rejects_empty_pairs_and_relays(self):
+        model = DemandModel.build({CITY: 1}, seed=1)
+        with pytest.raises(ConfigError):
+            DemandEngine([], [RelayCapacity(label="r", nic_mbps=1.0)], model, BestPathPolicy())
+        with pytest.raises(ConfigError):
+            DemandEngine([pair(0, 1.0, 2.0, 3.0)], [], model, BestPathPolicy())
+
+    def test_rejects_duplicate_relay_labels(self):
+        model = DemandModel.build({CITY: 1}, seed=1)
+        with pytest.raises(ConfigError):
+            DemandEngine(
+                [pair(0, 1.0, 2.0, 3.0)],
+                [RelayCapacity(label="r", nic_mbps=1.0)] * 2,
+                model,
+                BestPathPolicy(),
+            )
+
+    def test_rejects_bad_epoch_duration(self):
+        with pytest.raises(ConfigError):
+            make_engine().epoch_metrics(0, 0.0)
+
+
+class TestEpochMetrics:
+    def test_repeat_call_is_identical(self):
+        engine = make_engine()
+        assert engine.epoch_metrics(4, 3_600.0) == engine.epoch_metrics(4, 3_600.0)
+
+    def test_epoch_order_is_irrelevant(self):
+        forward = make_engine()
+        a = [forward.epoch_metrics(e, 3_600.0) for e in range(4)]
+        backward = make_engine()
+        b = [backward.epoch_metrics(e, 3_600.0) for e in reversed(range(4))]
+        assert a == list(reversed(b))
+
+    def test_metrics_are_json_safe(self):
+        metrics = make_engine().epoch_metrics(2, 3_600.0)
+        assert json.loads(json.dumps(metrics)) == metrics
+
+    def test_low_load_win_rate_matches_split_fraction(self):
+        # Pair 0's best overlay (12) beats direct (5); pair 1's (15)
+        # loses to direct (20) -> half the pairs win when relays idle.
+        metrics = make_engine(load_scale=0.01).epoch_metrics(0, 3_600.0)
+        assert metrics["win_rate"] == pytest.approx(0.5)
+        assert metrics["satisfied"] == pytest.approx(1.0)
+
+    def test_saturation_kills_the_win(self):
+        light = make_engine(load_scale=0.01).epoch_metrics(0, 3_600.0)
+        crushed = make_engine(load_scale=500.0).epoch_metrics(0, 3_600.0)
+        assert crushed["flows"] > light["flows"]
+        assert crushed["peak_utilization"] > 1.0
+        assert crushed["win_rate"] < light["win_rate"]
+        assert crushed["satisfied"] < 1.0
+
+    def test_relay_stats_cover_all_relays(self):
+        metrics = make_engine().epoch_metrics(0, 3_600.0)
+        assert set(metrics["relays"]) == {"ams", "dc"}
+        for stats in metrics["relays"].values():
+            assert set(stats) == {
+                "flows", "demand_mbps", "capacity_mbps", "utilization", "loss"
+            }
+
+    def test_best_path_herds_qps_weighted_spreads(self):
+        herd = make_engine(policy=BestPathPolicy(), load_scale=1.0)
+        herd_metrics = herd.epoch_metrics(0, 3_600.0)
+        spread_metrics = make_engine(load_scale=1.0).epoch_metrics(0, 3_600.0)
+        herd_flows = [s["flows"] for s in herd_metrics["relays"].values()]
+        spread_flows = [s["flows"] for s in spread_metrics["relays"].values()]
+        # Herding puts everything on each pair's best relay; weighting
+        # leaves no relay empty.
+        assert min(herd_flows) == 0.0
+        assert min(spread_flows) > 0.0

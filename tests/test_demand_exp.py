@@ -1,0 +1,165 @@
+"""E16 — the demand study: determinism, sharding parity, the headline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exec.runner import ExecConfig, ExecRunner
+from repro.experiments.demand_exp import (
+    RELAY_PORT_SPEED,
+    DemandConfig,
+    build_pair_routes,
+    run_demand,
+    run_demand_exec,
+)
+from repro.io import to_jsonable
+
+SEED = 7
+FAST = dict(seed=SEED, epochs=4, levels=(1.0, 8.0), epochs_per_shard=2)
+
+
+@pytest.fixture(scope="module")
+def fast_result():
+    return run_demand(DemandConfig(**FAST))
+
+
+class TestConfig:
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ExperimentError):
+            DemandConfig(levels=())
+        with pytest.raises(ExperimentError):
+            DemandConfig(levels=(1.0, -2.0))
+        with pytest.raises(ExperimentError):
+            DemandConfig(levels=(3.0, 3.0))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ExperimentError):
+            DemandConfig(policies=("round-robin",))
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ExperimentError):
+            DemandConfig(epochs=0)
+        with pytest.raises(ExperimentError):
+            DemandConfig(epochs_per_shard=0)
+
+    def test_arms_cross_policies_and_levels(self):
+        config = DemandConfig(levels=(1.0, 2.0), policies=("best-path", "anycast"))
+        assert config.arms == (
+            ("best-path", 1.0),
+            ("best-path", 2.0),
+            ("anycast", 1.0),
+            ("anycast", 2.0),
+        )
+
+    def test_epoch_blocks_partition_the_epochs(self):
+        config = DemandConfig(epochs=7, epochs_per_shard=3)
+        assert config.epoch_blocks == ((0, 3), (3, 6), (6, 7))
+
+
+class TestDeterminism:
+    def test_two_serial_runs_identical(self, fast_result):
+        again = run_demand(DemandConfig(**FAST))
+        assert to_jsonable(fast_result) == to_jsonable(again)
+        assert fast_result.render() == again.render()
+
+    def test_exec_matches_serial_at_any_worker_count(self, fast_result, tmp_path):
+        for workers in (1, 2):
+            runner = ExecRunner(
+                ExecConfig(workers=workers, cache_dir=tmp_path / f"w{workers}")
+            )
+            sharded = run_demand_exec(DemandConfig(**FAST), runner)
+            assert to_jsonable(sharded) == to_jsonable(fast_result)
+            assert sharded.render() == fast_result.render()
+
+
+class TestHeadline:
+    def test_low_load_reproduces_the_paper_win_rate(self, fast_result):
+        # Sec. III-A: split-overlay improves 78 % of pairs.  With idle
+        # relays every policy should sit in that band.
+        for policy in fast_result.config.policies:
+            assert 0.70 <= fast_result.arm(policy, 1.0).win_rate <= 0.90
+
+    def test_low_load_win_rate_equals_split_fraction(self, fast_result):
+        from repro.core.cronet import CRONet
+        from repro.experiments.scenario import build_world
+
+        world = build_world(seed=SEED, scale="small")
+        cronet = CRONet.build(
+            world.internet,
+            world.cloud,
+            list(world.dc_cities),
+            port_speed=RELAY_PORT_SPEED,
+        )
+        at = fast_result.config.at_hours * 3_600.0
+        wins = total = 0
+        for pair in build_pair_routes(world, cronet, at):
+            wins += max(rate for _, rate in pair.overlay_mbps) > pair.direct_mbps
+            total += 1
+        assert fast_result.arm("best-path", 1.0).win_rate == pytest.approx(wins / total)
+
+    def test_load_inverts_the_win(self, fast_result):
+        # At 8x the regional load the herding baseline loses its
+        # majority; that is the study's inversion point.
+        assert fast_result.arm("best-path", 8.0).win_rate < 0.5
+        assert fast_result.inversion_level("best-path") == 8.0
+
+    def test_qps_weighted_recovers_at_the_inversion(self, fast_result):
+        recovered = fast_result.recovery()
+        assert recovered is not None
+        assert recovered > 0.0
+        assert fast_result.arm("qps-weighted", 8.0).win_rate > fast_result.arm(
+            "best-path", 8.0
+        ).win_rate
+
+    def test_win_rate_non_increasing_in_load(self, fast_result):
+        for policy in fast_result.config.policies:
+            rates = [
+                fast_result.arm(policy, level).win_rate
+                for level in sorted(fast_result.config.levels)
+            ]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_inversion_none_when_never_inverted(self):
+        result = run_demand(DemandConfig(seed=SEED, epochs=2, levels=(1.0,)))
+        assert result.inversion_level("best-path") is None
+        assert result.recovery() is None
+
+    def test_render_carries_the_headline(self, fast_result):
+        rendered = fast_result.render()
+        assert "demand study: 48 pairs" in rendered
+        assert "inversion (best-path): level 8" in rendered
+        assert "qps-weighted recovers" in rendered
+
+    def test_unknown_arm_lookup_raises(self, fast_result):
+        with pytest.raises(ExperimentError):
+            fast_result.arm("best-path", 999.0)
+
+
+class TestCli:
+    def test_demand_verb_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["demand", "--seed", str(SEED), "--epochs", "2", "--level", "1", "--level", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "demand study: 48 pairs" in out
+        assert "inversion (best-path)" in out
+
+    def test_demand_verb_exec_parity(self, capsys, tmp_path):
+        from repro.cli import main
+
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(
+                [
+                    "demand", "--seed", str(SEED), "--epochs", "2",
+                    "--level", "1", "--workers", workers,
+                    "--cache-dir", str(tmp_path / f"w{workers}"),
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
