@@ -82,7 +82,96 @@ def _bench_demand() -> dict:
     }
 
 
-AREAS = {"demand": _bench_demand}
+def _bench_exec() -> dict:
+    """The exec backends' headline numbers (see DESIGN.md §14)."""
+    from repro.control.controller import OverlayController
+    from repro.control.policy import BestPathPolicy
+    from repro.control.probes import ProbeConfig, ProbeScheduler
+    from repro.exec.coordinator import WorkerChaos
+    from repro.exec.runner import ExecConfig, ExecRunner
+    from repro.experiments.chaos_exp import ChaosConfig, run_chaos_exec
+    from repro.experiments.control_exp import _pick_pair
+    from repro.experiments.scenario import build_world
+
+    world = build_world(seed=7, scale="small")
+
+    # Live-path resolutions per second with the path cache invalidated
+    # every round — the post-convergence expansion is the hot loop
+    # whenever BGP reroutes under failures.
+    pairs = [
+        (server, client)
+        for server in world.server_names[:3]
+        for client in world.client_names()[:4]
+    ]
+    rounds = 25
+    resolved = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        world.internet.invalidate_path_cache()
+        for src, dst in pairs:
+            world.internet.resolve_live_path(src, dst)
+            resolved += 1
+    paths_elapsed = time.perf_counter() - start
+
+    # Controller probe ticks per second (BestPath policy, no outage).
+    cronet = world.cronet()
+    pathset, _failed_links = _pick_pair(world, cronet)
+    world.internet.set_time(0.0)
+    tick_s, duration_s = 5.0, 3_600.0
+    controller = OverlayController(
+        internet=world.internet,
+        pathset=pathset,
+        policy=BestPathPolicy(),
+        scheduler=ProbeScheduler(
+            pathset,
+            ProbeConfig(interval_s=15.0),
+            world.streams.stream("bench.control"),
+        ),
+        tick_s=tick_s,
+    )
+    start = time.perf_counter()
+    controller.run(duration_s)
+    ticks_elapsed = time.perf_counter() - start
+
+    # Chaos campaign wall-clock, fresh caches each: the local-fork
+    # backend at 1 and 8 workers, then the coordinator backend at 8
+    # workers under a kill + stall schedule — the cost of riding out a
+    # SIGKILLed worker and an expired lease mid-campaign.
+    chaos_config = ChaosConfig(
+        seed=7, scale="small", duration_s=900.0, tick_s=5.0, probe_interval_s=15.0
+    )
+    walls: dict[str, float] = {}
+
+    def campaign(label: str, **exec_kwargs) -> None:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = ExecRunner(ExecConfig(cache_dir=cache_dir, **exec_kwargs))
+            begin = time.perf_counter()
+            run_chaos_exec(chaos_config, runner)
+            walls[label] = round(time.perf_counter() - begin, 3)
+
+    campaign("wall_s_workers_1", workers=1)
+    campaign("wall_s_workers_8", workers=8)
+    campaign(
+        "wall_s_workers_8_coordinator_chaos",
+        workers=8,
+        backend="coordinator",
+        lease_timeout_s=2.0,
+        chaos=WorkerChaos(kill=((0, 1),), stall=((1, 1),), stall_s=3.0),
+    )
+
+    return {
+        "paths_per_sec_expanded": round(resolved / paths_elapsed),
+        "path_pairs": len(pairs),
+        "probe_ticks_per_sec": round((duration_s / tick_s) / ticks_elapsed),
+        "controller_sim_speedup": round(duration_s / ticks_elapsed),
+        "chaos_campaign": {
+            "duration_s": chaos_config.duration_s,
+            **walls,
+        },
+    }
+
+
+AREAS = {"demand": _bench_demand, "exec": _bench_exec}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,232 @@
+"""The pluggable execution-backend interface.
+
+Everything above this layer — :class:`~repro.exec.runner.ExecRunner`,
+the experiment ports, the CLI — schedules work as ``(key, label, fn)``
+triples and reads back ``(payloads, outcomes)``.  Everything below it
+is a *backend*:
+
+* ``local-fork`` — the original :mod:`repro.exec.pool`: one forked
+  process per shard, per-task timeout, bounded retry, crash isolation.
+* ``coordinator`` — the crash-resilient coordinator/worker protocol
+  (:mod:`repro.exec.coordinator`): long-lived registered workers,
+  shard *leases* with deadlines, heartbeats that renew them, re-lease
+  on worker death or a missed heartbeat window, bounded-backoff retry
+  with a per-shard attempt budget, poison-shard quarantine, and
+  lossless recovery from the campaign ledger + content-addressed
+  cache after a coordinator crash.
+
+The contract every backend MUST keep: shards are identified by
+content-addressed keys, payloads are written to the shared
+:class:`~repro.exec.cache.ResultCache` *before* a shard is acked, and
+merged payloads come back in task order — which is what makes results
+byte-identical at any worker count, any kill schedule, any backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExecError
+from repro.exec.cache import ResultCache
+
+#: Shard status values recorded in manifests.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_ERROR = "error"
+
+#: One schedulable unit of work: (cache key, human label, thunk).
+TaskTriple = tuple[str, str, Callable[[], Any]]
+
+#: Backend names accepted by the CLI's ``--backend`` flag.
+BACKEND_NAMES = ("local-fork", "coordinator")
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """How one shard fared: status, attempts, timing, and error text."""
+
+    index: int
+    key: str
+    label: str
+    status: str
+    attempts: int
+    duration_s: float
+    error: str | None = None
+    #: Which worker completed the shard (coordinator backend only).
+    worker: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the shard exhausted its retries."""
+        return self.status != STATUS_ERROR
+
+
+class ExecBackend(abc.ABC):
+    """What a shard-execution engine must provide.
+
+    Implementations are stateless between :meth:`execute` calls except
+    for read-only configuration; all durable state lives in the shared
+    cache (payloads) and, for the coordinator, the campaign ledger.
+    """
+
+    #: Registry name, as spelled on the CLI.
+    name: str
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        tasks: Sequence[TaskTriple],
+        *,
+        cache: ResultCache,
+        workers: int,
+        resume: bool = False,
+        abort_after: int | None = None,
+    ) -> tuple[list[Any | None], list[ShardOutcome]]:
+        """Run ``tasks``; return payloads and outcomes in task order.
+
+        A shard that fails permanently yields a ``None`` payload and
+        an ``error`` outcome — the run itself always completes
+        (graceful degradation is part of the contract).
+        ``abort_after`` simulates a driver/coordinator crash after
+        that many freshly executed shards by raising
+        :class:`~repro.errors.ExecError`; durable state must survive
+        it.
+        """
+
+
+class LocalForkBackend(ExecBackend):
+    """The original pool: one forked process per shard attempt."""
+
+    name = "local-fork"
+
+    def __init__(
+        self,
+        *,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        mp_context: str = "fork",
+        use_processes: bool = True,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.mp_context = mp_context
+        self.use_processes = use_processes
+
+    def execute(
+        self,
+        tasks: Sequence[TaskTriple],
+        *,
+        cache: ResultCache,
+        workers: int,
+        resume: bool = False,
+        abort_after: int | None = None,
+    ) -> tuple[list[Any | None], list[ShardOutcome]]:
+        """Delegate to :func:`~repro.exec.pool.execute_shards`."""
+        from repro.exec.pool import execute_shards
+
+        return execute_shards(
+            tasks,
+            cache=cache,
+            workers=workers,
+            resume=resume,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            mp_context=self.mp_context,
+            use_processes=self.use_processes,
+            abort_after=abort_after,
+        )
+
+
+class CoordinatorBackend(ExecBackend):
+    """Leases + heartbeats over long-lived registered workers."""
+
+    name = "coordinator"
+
+    def __init__(
+        self,
+        *,
+        lease_timeout_s: float = 30.0,
+        max_attempts: int = 3,
+        heartbeat_s: float | None = None,
+        chaos=None,
+        mp_context: str = "fork",
+        use_processes: bool = True,
+    ) -> None:
+        self.lease_timeout_s = lease_timeout_s
+        self.max_attempts = max_attempts
+        self.heartbeat_s = heartbeat_s
+        self.chaos = chaos
+        self.mp_context = mp_context
+        self.use_processes = use_processes
+        #: Stats of the most recent :meth:`execute` (stale acks,
+        #: expiries, respawns, recovered shards) — for tests and logs.
+        self.last_stats: dict[str, int] = {}
+
+    def execute(
+        self,
+        tasks: Sequence[TaskTriple],
+        *,
+        cache: ResultCache,
+        workers: int,
+        resume: bool = False,
+        abort_after: int | None = None,
+    ) -> tuple[list[Any | None], list[ShardOutcome]]:
+        """Run one coordinated campaign over ``tasks``."""
+        from repro.exec.coordinator import Coordinator
+
+        coordinator = Coordinator(
+            tasks,
+            cache,
+            workers=workers,
+            lease_timeout_s=self.lease_timeout_s,
+            max_attempts=self.max_attempts,
+            heartbeat_s=self.heartbeat_s,
+            chaos=self.chaos,
+            resume=resume,
+            abort_after=abort_after,
+            mp_context=self.mp_context,
+            use_processes=self.use_processes,
+        )
+        result = coordinator.run()
+        self.last_stats = coordinator.stats
+        return result
+
+
+def make_backend(
+    name: str,
+    *,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    mp_context: str = "fork",
+    use_processes: bool = True,
+    lease_timeout_s: float = 30.0,
+    max_attempts: int = 3,
+    heartbeat_s: float | None = None,
+    chaos=None,
+) -> ExecBackend:
+    """Build the backend registered under ``name``.
+
+    Knobs that do not apply to the chosen backend are ignored (the
+    CLI passes everything; each backend keeps its own subset).
+    """
+    if name == "local-fork":
+        return LocalForkBackend(
+            timeout_s=timeout_s,
+            retries=retries,
+            mp_context=mp_context,
+            use_processes=use_processes,
+        )
+    if name == "coordinator":
+        return CoordinatorBackend(
+            lease_timeout_s=lease_timeout_s,
+            max_attempts=max_attempts,
+            heartbeat_s=heartbeat_s,
+            chaos=chaos,
+            mp_context=mp_context,
+            use_processes=use_processes,
+        )
+    raise ExecError(
+        f"unknown exec backend {name!r}; choose from {list(BACKEND_NAMES)}"
+    )

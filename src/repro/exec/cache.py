@@ -6,6 +6,12 @@ Each shard's payload lands in ``<root>/<key[:2]>/<key>.json`` where
 entry — whatever made it to the cache is complete and safe to serve
 on ``--resume``.  Payloads are canonical JSON, so a cached shard's
 bytes are identical to a recomputed shard's bytes.
+
+A payload that *did* get torn anyway — a truncated file from an
+unclean filesystem, a hand-edited entry — is never an error: it reads
+as a miss, and :meth:`ResultCache.lookup` quarantines the bad file
+(renamed to ``*.corrupt``) so the shard recomputes and the evidence
+survives for post-mortems.
 """
 
 from __future__ import annotations
@@ -23,6 +29,10 @@ from repro.io import to_jsonable
 #: harmless) instead of silently wrong.
 CACHE_EPOCH = 1
 
+#: Sentinel distinguishing "no entry" from a legitimately-``None``
+#: payload in :meth:`ResultCache.lookup`.
+MISS = object()
+
 
 class ResultCache:
     """Shard payloads addressed by spec hash under one root directory."""
@@ -37,25 +47,58 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def has(self, key: str) -> bool:
-        """True when a complete entry for ``key`` exists."""
+        """True when an entry file for ``key`` exists.
+
+        Purely an existence check — a torn entry still answers True.
+        Anything that *serves* payloads must go through
+        :meth:`lookup`, which validates and quarantines; ``has`` is
+        for cheap statistics and tests only.
+        """
         return self.path_for(key).exists()
+
+    def lookup(self, key: str) -> Any:
+        """The payload stored under ``key``, or :data:`MISS`.
+
+        A corrupt entry — truncated by an unclean filesystem (possibly
+        mid multi-byte character), hand-edited, or written for a
+        different key — counts as a *miss*, never an error: the bad
+        file is quarantined (renamed to ``*.corrupt``) so the caller
+        recomputes and the next :meth:`put` lands cleanly, while the
+        evidence stays on disk for post-mortems.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return MISS
+        except OSError:
+            return self._quarantine(path)
+        try:
+            wrapped = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            return self._quarantine(path)
+        if not isinstance(wrapped, dict) or wrapped.get("key") != key:
+            return self._quarantine(path)
+        if "payload" not in wrapped:
+            return self._quarantine(path)
+        return wrapped["payload"]
 
     def get(self, key: str) -> Any | None:
         """The payload stored under ``key``, or None on a miss.
 
-        A corrupt entry (torn by an unclean filesystem, truncated by
-        hand) reads as a miss: the shard recomputes and overwrites it.
+        Thin wrapper over :meth:`lookup` for callers whose payloads
+        are never ``None`` (every shard payload here is a dict/list).
         """
-        path = self.path_for(key)
+        payload = self.lookup(key)
+        return None if payload is MISS else payload
+
+    def _quarantine(self, path: Path) -> Any:
+        """Move a bad entry aside (best effort) and report a miss."""
         try:
-            wrapped = json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
-        except (json.JSONDecodeError, OSError):
-            return None
-        if not isinstance(wrapped, dict) or wrapped.get("key") != key:
-            return None
-        return wrapped.get("payload")
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+        return MISS
 
     def put(self, key: str, payload: Any) -> Path:
         """Atomically store ``payload`` under ``key``; returns the path.

@@ -1,0 +1,617 @@
+"""Crash-resilient coordinator/worker shard execution.
+
+The ``coordinator`` backend's engine.  The driver thread *is* the
+coordinator; workers are long-lived forked processes that register,
+request shard leases, heartbeat while computing, write payloads to
+the shared content-addressed cache, and ack.  The coordinator:
+
+* hands out leases in shard order (merged results stay byte-identical
+  at any worker count),
+* renews a lease on every heartbeat and **re-leases** any shard whose
+  worker dies, hangs, or misses its heartbeat window — with bounded
+  backoff and a per-shard attempt budget,
+* **quarantines** a shard that burns its whole budget (a poison shard
+  degrades the campaign gracefully instead of wedging it),
+* ignores **stale acks** from workers whose lease was already revoked
+  (their cache write is byte-identical and harmless; the bookkeeping
+  belongs to the replacement lease),
+* respawns replacement workers while work remains outstanding,
+* records progress in a **campaign ledger** next to the cache, so a
+  coordinator that crashes mid-campaign restarts losslessly: done
+  shards are served from ledger + cache with zero recomputation, and
+  only genuinely in-flight work re-executes.
+
+Recovery needs no journal replay because workers persist payloads
+*before* acking: the cache is the journal, the ledger is just the
+index of which keys a crashed campaign already settled.
+
+Fault injection for tests and CI lives here too:
+:class:`WorkerChaos` kills or stalls a worker at a chosen
+(shard, attempt), deterministically — the execution layer's analogue
+of :mod:`repro.faults` for the simulated network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from queue import Empty
+from typing import Any, Sequence
+
+from repro.errors import ExecError
+from repro.exec.backend import (
+    STATUS_CACHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    ShardOutcome,
+    TaskTriple,
+)
+from repro.exec.cache import MISS, ResultCache
+from repro.exec.heartbeat import (
+    MSG_ACK,
+    MSG_HEARTBEAT,
+    MSG_IDLE,
+    MSG_LEASE,
+    MSG_REGISTER,
+    MSG_REQUEST,
+    MSG_STOP,
+    HeartbeatConfig,
+    HeartbeatSender,
+)
+from repro.exec.lease import LeaseConfig, LeaseTable
+
+#: Ack statuses a worker reports (cache write already durable).
+ACK_OK = "ok"
+ACK_CACHED = "cached"
+ACK_ERROR = "error"
+
+#: Environment knob carrying a :class:`WorkerChaos` kill schedule into
+#: CLI runs (see :meth:`WorkerChaos.from_env`), e.g.
+#: ``REPRO_EXEC_CHAOS="kill=0@1,stall=1@1,stall-s=2.5"``.
+CHAOS_ENV = "REPRO_EXEC_CHAOS"
+
+#: How long an idle worker sleeps before re-requesting a lease.
+_IDLE_SLEEP_S = 0.02
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """Deterministic worker-fault schedule for tests and CI.
+
+    ``kill`` / ``stall`` are ``(shard_index, attempt)`` pairs; an
+    attempt of ``None`` matches every attempt (that is how a test
+    builds a *poison* shard: kill on every attempt until the budget
+    quarantines it).  A kill is a real ``SIGKILL`` of the worker
+    process mid-shard — after the lease was granted, before any cache
+    write.  A stall sleeps ``stall_s`` *before* heartbeats start, so
+    the lease expires exactly as it would under a wedged worker; the
+    worker then recovers, computes, and acks — stale, and ignored.
+    """
+
+    kill: tuple[tuple[int, int | None], ...] = ()
+    stall: tuple[tuple[int, int | None], ...] = ()
+    stall_s: float = 2.0
+
+    @staticmethod
+    def _matches(rules: tuple[tuple[int, int | None], ...], shard: int,
+                 attempt: int) -> bool:
+        return any(
+            s == shard and (a is None or a == attempt) for s, a in rules
+        )
+
+    def apply(self, shard: int, attempt: int) -> None:
+        """Run the schedule for (``shard``, ``attempt``) in a worker."""
+        if self._matches(self.kill, shard, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._matches(self.stall, shard, attempt):
+            time.sleep(self.stall_s)
+
+    @property
+    def kills_anything(self) -> bool:
+        """True when the schedule contains at least one kill rule."""
+        return bool(self.kill)
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkerChaos":
+        """Parse the ``kill=S@A,stall=S@A,stall-s=F`` mini-language.
+
+        ``@A`` is optional (default: attempt 1); ``@*`` matches every
+        attempt.  Entries repeat freely: ``kill=0@1,kill=3@*``.
+        """
+        kill: list[tuple[int, int | None]] = []
+        stall: list[tuple[int, int | None]] = []
+        stall_s = 2.0
+        for entry in filter(None, (part.strip() for part in text.split(","))):
+            try:
+                name, value = entry.split("=", 1)
+            except ValueError:
+                raise ExecError(f"malformed chaos entry {entry!r}") from None
+            if name == "stall-s":
+                stall_s = float(value)
+                continue
+            if name not in ("kill", "stall"):
+                raise ExecError(f"unknown chaos rule {name!r} in {entry!r}")
+            shard_text, _, attempt_text = value.partition("@")
+            try:
+                shard = int(shard_text)
+                attempt = (
+                    None if attempt_text == "*"
+                    else int(attempt_text) if attempt_text else 1
+                )
+            except ValueError:
+                raise ExecError(f"malformed chaos entry {entry!r}") from None
+            (kill if name == "kill" else stall).append((shard, attempt))
+        return cls(kill=tuple(kill), stall=tuple(stall), stall_s=stall_s)
+
+    @classmethod
+    def from_env(cls) -> "WorkerChaos | None":
+        """The schedule in :data:`CHAOS_ENV`, or None when unset."""
+        text = os.environ.get(CHAOS_ENV)
+        return cls.parse(text) if text else None
+
+
+class CampaignLedger:
+    """Which shard keys a campaign has settled, durable across crashes.
+
+    One small JSON file per campaign (id = hash of the shard-key set)
+    under ``<cache>/runs/``, rewritten atomically after every
+    completion.  It exists only while a campaign is incomplete: a
+    clean finish removes it, so a *fresh* later run of the same
+    campaign measures real work instead of silently serving the old
+    one (``--resume`` stays the explicit opt-in for that).
+    """
+
+    def __init__(self, cache_root: str | Path, keys: Sequence[str]) -> None:
+        digest = hashlib.sha256("\n".join(keys).encode("utf-8"))
+        self.campaign_id = digest.hexdigest()[:16]
+        self.path = Path(cache_root) / "runs" / f"campaign-{self.campaign_id}.json"
+        self._done: set[str] = set()
+
+    def load(self) -> set[str]:
+        """Keys a previous (crashed) coordinator recorded as done."""
+        try:
+            body = json.loads(self.path.read_text())
+            self._done = set(body["done"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            self._done = set()
+        return set(self._done)
+
+    def mark_done(self, key: str) -> None:
+        """Record ``key`` as settled; atomic rewrite."""
+        if key in self._done:
+            return
+        self._done.add(key)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(
+            {"campaign": self.campaign_id, "done": sorted(self._done)},
+            sort_keys=True,
+        )
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(body)
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        """Remove the ledger (campaign finished cleanly)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _worker_main(worker_id: str, tasks, cache_root: str, queue, conn,
+                 heartbeat: HeartbeatConfig, chaos: WorkerChaos | None) -> None:
+    """Worker process loop: register, lease, compute, persist, ack.
+
+    The cache write happens *before* the ack — by the time the
+    coordinator hears about a shard, its payload is durable, which is
+    what makes every recovery path lossless.
+    """
+    cache = ResultCache(cache_root)
+    try:
+        queue.put((MSG_REGISTER, worker_id))
+        while True:
+            queue.put((MSG_REQUEST, worker_id))
+            message = conn.recv()
+            if message[0] == MSG_STOP:
+                return
+            if message[0] == MSG_IDLE:
+                time.sleep(_IDLE_SLEEP_S)
+                continue
+            _kind, lease_id, shard, attempt, check_cache = message
+            key, _label, fn = tasks[shard]
+            if check_cache and cache.lookup(key) is not MISS:
+                queue.put((MSG_ACK, worker_id, lease_id, ACK_CACHED, None))
+                continue
+            if chaos is not None:
+                # May SIGKILL this process or stall it past its lease
+                # deadline; stalls run *before* heartbeats start.
+                chaos.apply(shard, attempt)
+            try:
+                with HeartbeatSender(queue, worker_id, lease_id, heartbeat):
+                    payload = fn()
+                    cache.put(key, payload)
+            except BaseException as error:  # noqa: BLE001 — isolation boundary
+                queue.put((
+                    MSG_ACK, worker_id, lease_id, ACK_ERROR,
+                    f"{type(error).__name__}: {error}",
+                ))
+                continue
+            queue.put((MSG_ACK, worker_id, lease_id, ACK_OK, None))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return  # coordinator went away; nothing durable is lost
+
+
+@dataclass
+class _WorkerHandle:
+    """Coordinator-side record of one live worker process."""
+
+    worker_id: str
+    process: Any
+    conn: Any
+    #: Set when the worker's lease expired while the process is still
+    #: alive (hung or stalled); cleared on its next message.  Suspect
+    #: workers do not count toward capacity, so a replacement spawns.
+    suspect: bool = False
+
+
+class Coordinator:
+    """One coordinated campaign over a task list (see module docs)."""
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskTriple],
+        cache: ResultCache,
+        *,
+        workers: int = 1,
+        lease_timeout_s: float = 30.0,
+        max_attempts: int = 3,
+        heartbeat_s: float | None = None,
+        chaos: WorkerChaos | None = None,
+        resume: bool = False,
+        abort_after: int | None = None,
+        mp_context: str = "fork",
+        use_processes: bool = True,
+    ) -> None:
+        if workers <= 0:
+            raise ExecError(f"worker count must be positive, got {workers}")
+        self.tasks = list(tasks)
+        self.cache = cache
+        self.workers = workers
+        self.lease_config = LeaseConfig(
+            lease_timeout_s=lease_timeout_s, max_attempts=max_attempts
+        )
+        self.heartbeat = (
+            HeartbeatConfig(heartbeat_s)
+            if heartbeat_s is not None
+            else HeartbeatConfig.for_lease_timeout(lease_timeout_s)
+        )
+        self.chaos = chaos
+        self.resume = resume
+        self.abort_after = abort_after
+        self.mp_context = mp_context
+        self.use_processes = use_processes
+        self.ledger = CampaignLedger(cache.root, [key for key, _l, _f in self.tasks])
+        #: Operational counters (exposed through the backend).
+        self.stats: dict[str, int] = {
+            "recovered": 0, "executed": 0, "cached": 0, "stale_acks": 0,
+            "expired_leases": 0, "worker_deaths": 0, "respawns": 0,
+            "quarantined": 0,
+        }
+
+    # -- recovery ---------------------------------------------------
+
+    def _recover(
+        self, payloads: list[Any | None], outcomes: list[ShardOutcome | None]
+    ) -> list[int]:
+        """Serve shards the ledger + cache already settled.
+
+        Returns the task indexes still needing execution.  A key the
+        ledger lists but the cache cannot validate (evicted, corrupt
+        and quarantined) re-executes — the ledger is an index, the
+        cache is the truth.
+        """
+        done_keys = self.ledger.load()
+        pending: list[int] = []
+        for index, (key, label, _fn) in enumerate(self.tasks):
+            if self.resume or key in done_keys:
+                payload = self.cache.lookup(key)
+                if payload is not MISS:
+                    payloads[index] = payload
+                    outcomes[index] = ShardOutcome(
+                        index=index, key=key, label=label, status=STATUS_CACHED,
+                        attempts=0, duration_s=0.0,
+                    )
+                    self.ledger.mark_done(key)
+                    if key in done_keys:
+                        self.stats["recovered"] += 1
+                    continue
+            pending.append(index)
+        return pending
+
+    # -- driving ----------------------------------------------------
+
+    def run(self) -> tuple[list[Any | None], list[ShardOutcome]]:
+        """Execute the campaign; returns (payloads, outcomes)."""
+        payloads: list[Any | None] = [None] * len(self.tasks)
+        outcomes: list[ShardOutcome | None] = [None] * len(self.tasks)
+        pending = self._recover(payloads, outcomes)
+        if pending:
+            ctx = self._context()
+            if ctx is None:
+                self._run_inline(pending, payloads, outcomes)
+            else:
+                self._run_coordinated(ctx, pending, payloads, outcomes)
+        self.ledger.clear()
+        return payloads, _settled(outcomes)
+
+    def _context(self):
+        """The fork multiprocessing context, or None to run inline."""
+        if not self.use_processes:
+            return None
+        try:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context(self.mp_context)
+        except ValueError:
+            return None
+        # Worker closures are inherited, never pickled: fork only.
+        return ctx if ctx.get_start_method() == "fork" else None
+
+    def _abort_if_due(self) -> None:
+        """Simulate a coordinator crash for the recovery tests/CI."""
+        if self.abort_after is not None and self.stats["executed"] >= self.abort_after:
+            raise ExecError(
+                f"aborting after {self.stats['executed']} executed shards "
+                "(simulated crash)"
+            )
+
+    def _record(
+        self, outcomes: list[ShardOutcome | None], index: int, status: str,
+        attempts: int, duration_s: float, error: str | None = None,
+        worker: str | None = None,
+    ) -> None:
+        key, label, _fn = self.tasks[index]
+        outcomes[index] = ShardOutcome(
+            index=index, key=key, label=label, status=status, attempts=attempts,
+            duration_s=duration_s, error=error, worker=worker,
+        )
+
+    # -- coordinated (forked workers) -------------------------------
+
+    def _run_coordinated(
+        self, ctx, pending: list[int],
+        payloads: list[Any | None], outcomes: list[ShardOutcome | None],
+    ) -> None:
+        """The coordinator main loop over forked workers."""
+        if self.abort_after is not None and self.abort_after <= 0:
+            self._abort_if_due()
+        table = LeaseTable(len(pending), self.lease_config)
+        queue = ctx.Queue()
+        handles: dict[str, _WorkerHandle] = {}
+        spawned = 0
+        grant_times: dict[int, float] = {}  # pending-slot -> first grant
+
+        def spawn() -> None:
+            nonlocal spawned
+            worker_id = f"w{spawned}"
+            spawned += 1
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.tasks, str(self.cache.root), queue,
+                      child_conn, self.heartbeat, self.chaos),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handles[worker_id] = _WorkerHandle(worker_id, process, parent_conn)
+            if spawned > self.workers:
+                self.stats["respawns"] += 1
+
+        def settle_ok(worker_id: str, lease, ack_status: str, now: float) -> None:
+            slot = lease.shard
+            index = pending[slot]
+            key, _label, _fn = self.tasks[index]
+            status = STATUS_CACHED if ack_status == ACK_CACHED else STATUS_OK
+            self._record(
+                outcomes, index, status, lease.attempt,
+                now - grant_times.get(slot, lease.granted_at), worker=worker_id,
+            )
+            self.ledger.mark_done(key)
+            if status == STATUS_OK:
+                self.stats["executed"] += 1
+            else:
+                self.stats["cached"] += 1
+
+        try:
+            for _ in range(min(self.workers, len(pending))):
+                spawn()
+            while not table.all_settled:
+                now = time.monotonic()
+                # Dead workers: revoke their leases, requeue the shards.
+                for handle in [h for h in handles.values()
+                               if not h.process.is_alive()]:
+                    exitcode = handle.process.exitcode
+                    table.revoke_worker(
+                        handle.worker_id, now,
+                        f"worker died with exit code {exitcode}",
+                    )
+                    self.stats["worker_deaths"] += 1
+                    handle.conn.close()
+                    handle.process.join()
+                    del handles[handle.worker_id]
+                # Hung/stalled workers: their lease lapses, shard requeues.
+                for lease in table.expire(now):
+                    self.stats["expired_leases"] += 1
+                    if lease.worker in handles:
+                        handles[lease.worker].suspect = True
+                # Keep capacity while work is outstanding.
+                available = sum(1 for h in handles.values() if not h.suspect)
+                while available < min(self.workers, table.outstanding):
+                    spawn()
+                    available += 1
+                self._abort_if_due()
+                wake = table.next_wakeup(now)
+                timeout = (
+                    min(max(wake - now, 0.005), 0.1) if wake is not None else 0.05
+                )
+                try:
+                    message = queue.get(timeout=timeout)
+                except Empty:
+                    continue
+                kind, worker_id = message[0], message[1]
+                handle = handles.get(worker_id)
+                if handle is not None:
+                    handle.suspect = False
+                if kind == MSG_REGISTER:
+                    continue
+                if kind == MSG_HEARTBEAT:
+                    table.renew(message[2], time.monotonic())
+                    continue
+                if kind == MSG_REQUEST:
+                    if handle is None:
+                        continue  # raced with its own death bookkeeping
+                    now = time.monotonic()
+                    lease = table.grant(worker_id, now)
+                    if lease is None:
+                        handle.conn.send((MSG_IDLE,))
+                        continue
+                    grant_times.setdefault(lease.shard, now)
+                    check_cache = self.resume or lease.attempt > 1
+                    handle.conn.send((
+                        MSG_LEASE, lease.lease_id, pending[lease.shard],
+                        lease.attempt, check_cache,
+                    ))
+                    continue
+                if kind == MSG_ACK:
+                    _kind, _worker, lease_id, ack_status, error = message
+                    now = time.monotonic()
+                    if ack_status == ACK_ERROR:
+                        lease = table.complete(lease_id, now, error=error)
+                    else:
+                        lease = table.complete(lease_id, now)
+                        if lease is not None:
+                            settle_ok(worker_id, lease, ack_status, now)
+                    continue
+        finally:
+            self.stats["stale_acks"] = table.stale_acks
+            for handle in handles.values():
+                try:
+                    handle.conn.send((MSG_STOP,))
+                except (OSError, BrokenPipeError):
+                    pass
+            for handle in handles.values():
+                handle.process.join(timeout=0.5)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join()
+                handle.conn.close()
+            queue.close()
+            queue.cancel_join_thread()
+        self._finish_table(table, pending, payloads, outcomes)
+
+    # -- inline fallback --------------------------------------------
+
+    def _run_inline(
+        self, pending: list[int],
+        payloads: list[Any | None], outcomes: list[ShardOutcome | None],
+    ) -> None:
+        """Sequential fallback for platforms without ``fork``.
+
+        Same lease-table state machine driving the same cache
+        protocol, so payload bytes match the coordinated path;
+        process-level chaos (kills) has no process to kill and is
+        rejected loudly instead of silently skipped.
+        """
+        if self.chaos is not None and self.chaos.kills_anything:
+            raise ExecError(
+                "WorkerChaos kill schedules need worker processes; "
+                "this platform runs the coordinator inline (no fork)"
+            )
+        table = LeaseTable(len(pending), self.lease_config)
+        while not table.all_settled:
+            now = time.monotonic()
+            self._abort_if_due()
+            lease = table.grant("inline", now)
+            if lease is None:
+                wake = table.next_wakeup(now)
+                if wake is None:
+                    break
+                time.sleep(max(wake - now, 0.0))
+                continue
+            index = pending[lease.shard]
+            key, _label, fn = self.tasks[index]
+            if (self.resume or lease.attempt > 1) and self.cache.lookup(key) is not MISS:
+                settled = table.complete(lease.lease_id, time.monotonic())
+                if settled is not None:
+                    self._record(
+                        outcomes, index, STATUS_CACHED, lease.attempt,
+                        time.monotonic() - lease.granted_at, worker="inline",
+                    )
+                    self.ledger.mark_done(key)
+                    self.stats["cached"] += 1
+                continue
+            try:
+                if self.chaos is not None:
+                    self.chaos.apply(pending[lease.shard], lease.attempt)
+                payload = fn()
+                self.cache.put(key, payload)
+            except Exception as error:
+                table.complete(
+                    lease.lease_id, time.monotonic(),
+                    error=f"{type(error).__name__}: {error}",
+                )
+                continue
+            settled = table.complete(lease.lease_id, time.monotonic())
+            if settled is not None:
+                self._record(
+                    outcomes, index, STATUS_OK, lease.attempt,
+                    time.monotonic() - lease.granted_at, worker="inline",
+                )
+                self.ledger.mark_done(key)
+                self.stats["executed"] += 1
+        self._finish_table(table, pending, payloads, outcomes)
+
+    # -- settling ---------------------------------------------------
+
+    def _finish_table(
+        self, table: LeaseTable, pending: list[int],
+        payloads: list[Any | None], outcomes: list[ShardOutcome | None],
+    ) -> None:
+        """Fill payloads for DONE shards, error outcomes for poison."""
+        for slot, index in enumerate(pending):
+            key, label, _fn = self.tasks[index]
+            if outcomes[index] is not None and outcomes[index].status != STATUS_ERROR:
+                payload = self.cache.lookup(key)
+                payloads[index] = None if payload is MISS else payload
+                continue
+            attempts = table.attempts(slot)
+            if slot in set(table.quarantined):
+                self.stats["quarantined"] += 1
+                self._record(
+                    outcomes, index, STATUS_ERROR, attempts, 0.0,
+                    error=(
+                        f"poison shard quarantined after {attempts} attempt(s): "
+                        f"{table.last_error(slot) or 'unknown failure'}"
+                    ),
+                )
+            elif outcomes[index] is None:
+                self._record(
+                    outcomes, index, STATUS_ERROR, attempts, 0.0,
+                    error=table.last_error(slot) or "shard never settled",
+                )
+
+
+def _settled(outcomes: list[ShardOutcome | None]) -> list[ShardOutcome]:
+    """Assert every slot settled; narrows the element type."""
+    for index, outcome in enumerate(outcomes):
+        if outcome is None:
+            raise ExecError(
+                f"shard {index} never settled — coordinator bookkeeping bug"
+            )
+    return outcomes  # type: ignore[return-value]

@@ -1,0 +1,102 @@
+"""The coordinator/worker wire protocol and the worker heartbeat.
+
+Messages are small tuples on one shared ``multiprocessing`` queue
+(worker → coordinator); each is far below ``PIPE_BUF``, so even a
+worker SIGKILLed mid-``put`` cannot tear the stream.  The
+coordinator → worker direction is a private pipe per worker (lease
+grants, shutdown).
+
+Worker → coordinator::
+
+    (MSG_REGISTER,  worker_id)
+    (MSG_REQUEST,   worker_id)                      # give me a lease
+    (MSG_HEARTBEAT, worker_id, lease_id)            # still computing
+    (MSG_ACK,       worker_id, lease_id, status, error_or_none)
+
+Coordinator → worker::
+
+    (MSG_LEASE, lease_id, shard_index, attempt, check_cache)
+    (MSG_IDLE,)                                     # nothing grantable yet
+    (MSG_STOP,)
+
+While a shard computes, a daemon thread (:class:`HeartbeatSender`)
+posts ``MSG_HEARTBEAT`` every ``interval_s``; each beat renews the
+lease deadline coordinator-side.  A worker that hangs stops beating
+— its thread is alive but the whole process is wedged, or the stall
+happens *before* the sender starts (the chaos hook's model of a
+pre-compute hang) — and the lease expires on schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ExecError
+
+MSG_REGISTER = "register"
+MSG_REQUEST = "request"
+MSG_HEARTBEAT = "heartbeat"
+MSG_ACK = "ack"
+MSG_LEASE = "lease"
+MSG_IDLE = "idle"
+MSG_STOP = "stop"
+
+#: How many heartbeats fit in one lease window.  3 beats per window
+#: means one lost beat (scheduling hiccup, queue contention) never
+#: expires a healthy worker.
+BEATS_PER_WINDOW = 3
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Worker-side liveness knobs, derived from the lease timeout."""
+
+    interval_s: float
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ExecError(
+                f"heartbeat interval must be positive, got {self.interval_s}"
+            )
+
+    @classmethod
+    def for_lease_timeout(cls, lease_timeout_s: float) -> "HeartbeatConfig":
+        """The default cadence: :data:`BEATS_PER_WINDOW` per window."""
+        return cls(interval_s=lease_timeout_s / BEATS_PER_WINDOW)
+
+
+class HeartbeatSender:
+    """Posts heartbeats for one lease while its shard computes.
+
+    Context manager: entering starts the daemon thread, exiting stops
+    it.  The thread shares the worker's outbound queue; puts are tiny
+    and atomic (see module docstring), so beats interleave safely
+    with the main thread's eventual ack.
+    """
+
+    def __init__(self, queue, worker_id: str, lease_id: int,
+                 config: HeartbeatConfig) -> None:
+        self._queue = queue
+        self._worker_id = worker_id
+        self._lease_id = lease_id
+        self._interval_s = config.interval_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "HeartbeatSender":
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self._interval_s * 2)
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._queue.put((MSG_HEARTBEAT, self._worker_id, self._lease_id))
+            except Exception:
+                return  # queue torn down: the run is over, stop quietly

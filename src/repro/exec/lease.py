@@ -1,0 +1,284 @@
+"""Shard leases: deadlines, renewal, attempt budgets, quarantine.
+
+The coordinator backend's scheduling brain, kept free of processes
+and wall-clock so the whole state machine is unit-testable with a
+fake clock.  A shard moves through::
+
+    PENDING --grant--> LEASED --complete--> DONE
+       ^                  |
+       |   expire / revoke (worker died, heartbeat window missed)
+       +------------------+          after max_attempts grants:
+            (bounded backoff)   LEASED --------> QUARANTINED
+
+Grants hand out shards in spec order (what keeps merged results
+byte-identical at any worker count); a shard bounced back to PENDING
+carries a bounded-backoff "not before" time so a flapping worker
+cannot hot-loop one shard; a shard that burns its whole attempt
+budget is *quarantined* — recorded as a poison shard and never
+leased again, so one pathological task degrades the campaign
+gracefully instead of wedging it.
+
+Every grant gets a fresh monotonically-increasing ``lease_id``.
+Completions are keyed by lease id, not shard index: an ack from a
+lease that was already revoked (the worker hung past its deadline,
+then recovered) is *stale* and ignored — the payload it wrote to the
+content-addressed cache is still byte-identical and harmless, but
+the bookkeeping belongs to the replacement lease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecError
+
+#: Shard lifecycle states (values show up in debug output only).
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One grant of one shard to one worker, with a deadline."""
+
+    lease_id: int
+    shard: int
+    worker: str
+    granted_at: float
+    deadline: float
+    attempt: int
+
+
+@dataclass
+class LeaseConfig:
+    """Scheduling knobs of the lease table.
+
+    ``lease_timeout_s`` is the heartbeat window: a worker must renew
+    (heartbeat) within it or the shard is re-leased.  ``max_attempts``
+    is the per-shard attempt budget across *all* workers.  Backoff is
+    bounded exponential: attempt *n* waits
+    ``min(backoff_s * backoff_factor**(n-1), backoff_cap_s)`` before
+    the shard becomes grantable again.
+    """
+
+    lease_timeout_s: float = 30.0
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout_s <= 0:
+            raise ExecError(
+                f"lease timeout must be positive, got {self.lease_timeout_s}"
+            )
+        if self.max_attempts <= 0:
+            raise ExecError(f"max_attempts must be positive, got {self.max_attempts}")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ExecError("backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ExecError("backoff factor must be >= 1")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds a shard waits before its ``attempt``-th re-grant."""
+        return min(
+            self.backoff_s * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_cap_s,
+        )
+
+
+@dataclass
+class _ShardState:
+    """Book-keeping for one shard inside the table."""
+
+    state: str = PENDING
+    attempts: int = 0
+    eligible_at: float = 0.0
+    lease_id: int | None = None
+    last_error: str | None = None
+
+
+class LeaseTable:
+    """Lease-based scheduler state for one batch of shards."""
+
+    def __init__(self, n_shards: int, config: LeaseConfig | None = None) -> None:
+        if n_shards < 0:
+            raise ExecError(f"negative shard count: {n_shards}")
+        self.config = config or LeaseConfig()
+        self._shards = [_ShardState() for _ in range(n_shards)]
+        self._leases: dict[int, Lease] = {}
+        self._next_lease_id = 1
+        #: Counters exposed in coordinator stats / tests.
+        self.stale_acks = 0
+        self.expired = 0
+
+    # -- granting ---------------------------------------------------
+
+    def grant(self, worker: str, now: float) -> Lease | None:
+        """Lease the next grantable shard to ``worker``, if any.
+
+        Shards are granted in index order among those currently
+        eligible (PENDING with ``eligible_at <= now``).  Returns None
+        when nothing is grantable *right now* — the caller should
+        check :meth:`next_wakeup` to sleep until backoff expiry.
+        """
+        for shard, state in enumerate(self._shards):
+            if state.state != PENDING or state.eligible_at > now:
+                continue
+            state.attempts += 1
+            lease = Lease(
+                lease_id=self._next_lease_id,
+                shard=shard,
+                worker=worker,
+                granted_at=now,
+                deadline=now + self.config.lease_timeout_s,
+                attempt=state.attempts,
+            )
+            self._next_lease_id += 1
+            state.state = LEASED
+            state.lease_id = lease.lease_id
+            self._leases[lease.lease_id] = lease
+            return lease
+        return None
+
+    # -- liveness ---------------------------------------------------
+
+    def renew(self, lease_id: int, now: float) -> bool:
+        """Extend a live lease's deadline (a heartbeat arrived).
+
+        Returns False for unknown/revoked leases — a heartbeat from a
+        worker whose lease already expired renews nothing.
+        """
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        self._leases[lease_id] = Lease(
+            lease_id=lease.lease_id,
+            shard=lease.shard,
+            worker=lease.worker,
+            granted_at=lease.granted_at,
+            deadline=now + self.config.lease_timeout_s,
+            attempt=lease.attempt,
+        )
+        return True
+
+    def expire(self, now: float) -> list[Lease]:
+        """Revoke every live lease whose deadline has passed.
+
+        Each revoked shard re-queues with backoff (or quarantines when
+        its attempt budget is spent).  Returns the revoked leases so
+        the coordinator can log / account them.
+        """
+        lapsed = [
+            lease for lease in self._leases.values() if now >= lease.deadline
+        ]
+        for lease in lapsed:
+            self.expired += 1
+            self._revoke(lease, now, "missed its heartbeat window")
+        return lapsed
+
+    def revoke_worker(self, worker: str, now: float, reason: str) -> list[Lease]:
+        """Revoke every lease held by ``worker`` (it died)."""
+        held = [lease for lease in self._leases.values() if lease.worker == worker]
+        for lease in held:
+            self._revoke(lease, now, reason)
+        return held
+
+    def _revoke(self, lease: Lease, now: float, reason: str) -> None:
+        del self._leases[lease.lease_id]
+        state = self._shards[lease.shard]
+        state.lease_id = None
+        state.last_error = reason
+        if state.attempts >= self.config.max_attempts:
+            state.state = QUARANTINED
+        else:
+            state.state = PENDING
+            state.eligible_at = now + self.config.backoff_for(state.attempts)
+
+    # -- completion -------------------------------------------------
+
+    def complete(
+        self, lease_id: int, now: float, error: str | None = None
+    ) -> Lease | None:
+        """Settle a lease on an ack from its worker.
+
+        With ``error`` the attempt failed cleanly (the worker caught
+        the exception): the shard re-queues with backoff or
+        quarantines, exactly like an expiry.  Without it the shard is
+        DONE.  Returns the lease, or None when the ack is *stale*
+        (the lease was already revoked) — stale acks are counted and
+        otherwise ignored.
+        """
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            self.stale_acks += 1
+            return None
+        if error is not None:
+            self._revoke(lease, now, error)
+            return lease
+        del self._leases[lease_id]
+        state = self._shards[lease.shard]
+        state.state = DONE
+        state.lease_id = None
+        return lease
+
+    def complete_shard(self, shard: int) -> None:
+        """Mark ``shard`` DONE outside the lease flow (cache recovery)."""
+        state = self._shards[shard]
+        if state.state == LEASED and state.lease_id is not None:
+            self._leases.pop(state.lease_id, None)
+        state.state = DONE
+        state.lease_id = None
+
+    # -- queries ----------------------------------------------------
+
+    def attempts(self, shard: int) -> int:
+        """How many times ``shard`` has been granted so far."""
+        return self._shards[shard].attempts
+
+    def last_error(self, shard: int) -> str | None:
+        """The most recent failure reason recorded for ``shard``."""
+        return self._shards[shard].last_error
+
+    @property
+    def quarantined(self) -> list[int]:
+        """Shard indexes quarantined as poison (attempt budget spent)."""
+        return [i for i, s in enumerate(self._shards) if s.state == QUARANTINED]
+
+    @property
+    def done(self) -> list[int]:
+        """Shard indexes completed successfully."""
+        return [i for i, s in enumerate(self._shards) if s.state == DONE]
+
+    @property
+    def outstanding(self) -> int:
+        """Shards not yet settled (PENDING or LEASED)."""
+        return sum(1 for s in self._shards if s.state in (PENDING, LEASED))
+
+    @property
+    def all_settled(self) -> bool:
+        """True once every shard is DONE or QUARANTINED."""
+        return self.outstanding == 0
+
+    def has_grantable(self, now: float) -> bool:
+        """True when :meth:`grant` would succeed at ``now``."""
+        return any(
+            s.state == PENDING and s.eligible_at <= now for s in self._shards
+        )
+
+    def next_wakeup(self, now: float) -> float | None:
+        """Earliest instant something changes without a message.
+
+        The minimum over live-lease deadlines and pending-shard
+        backoff expiries; None when neither exists (all settled, or
+        settled-minus-messages).
+        """
+        instants = [lease.deadline for lease in self._leases.values()]
+        instants.extend(
+            s.eligible_at
+            for s in self._shards
+            if s.state == PENDING and s.eligible_at > now
+        )
+        return min(instants) if instants else None

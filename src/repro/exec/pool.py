@@ -1,4 +1,4 @@
-"""The ``multiprocessing``-backed shard pool.
+"""The ``local-fork`` backend's shard pool.
 
 Each shard runs in its own forked process: a worker that segfaults,
 calls ``os._exit``, or is killed by the per-task timeout fails *its
@@ -11,6 +11,13 @@ that shard.
 Shards are launched in spec order and merged in spec order; with the
 seed-stable partitioner this makes the merged result byte-identical
 at any worker count.
+
+This is one of two :class:`~repro.exec.backend.ExecBackend`
+implementations — the fork-per-shard one.  The crash-resilient
+coordinator/worker protocol lives in :mod:`repro.exec.coordinator`;
+the shared status constants and :class:`ShardOutcome` live in
+:mod:`repro.exec.backend` (re-exported here for callers that grew up
+importing them from the pool).
 """
 
 from __future__ import annotations
@@ -22,30 +29,13 @@ from multiprocessing import connection
 from typing import Any, Callable, Sequence
 
 from repro.errors import ExecError
-from repro.exec.cache import ResultCache
-
-#: Shard status values recorded in manifests.
-STATUS_OK = "ok"
-STATUS_CACHED = "cached"
-STATUS_ERROR = "error"
-
-
-@dataclass(frozen=True)
-class ShardOutcome:
-    """How one shard fared: status, attempts, timing, and error text."""
-
-    index: int
-    key: str
-    label: str
-    status: str
-    attempts: int
-    duration_s: float
-    error: str | None = None
-
-    @property
-    def ok(self) -> bool:
-        """True unless the shard exhausted its retries."""
-        return self.status != STATUS_ERROR
+from repro.exec.backend import (  # noqa: F401 — re-exported compat names
+    STATUS_CACHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    ShardOutcome,
+)
+from repro.exec.cache import MISS, ResultCache
 
 
 def _shard_worker(fn: Callable[[], Any], cache_root: str, key: str, conn: Any) -> None:
@@ -122,8 +112,12 @@ def execute_shards(
     executed = 0
 
     for index, (key, label, _fn) in enumerate(tasks):
-        if resume and cache.has(key):
-            payloads[index] = cache.get(key)
+        # lookup(), not has(): a truncated/corrupt entry must read as
+        # a miss (and be quarantined) so the shard recomputes instead
+        # of a torn payload being served as a cache hit.
+        cached = cache.lookup(key) if resume else MISS
+        if cached is not MISS:
+            payloads[index] = cached
             outcomes[index] = ShardOutcome(
                 index=index, key=key, label=label, status=STATUS_CACHED,
                 attempts=0, duration_s=0.0,

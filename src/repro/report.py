@@ -33,13 +33,32 @@ def _measurement_health(summary, manifest=None) -> str:
     Campaign per-task ok/error tallies and — on sharded runs — the exec
     manifest's per-shard error counts land in one table, so a flaky
     task and a dying shard read the same way: a nonzero error column.
+
+    ``summary`` may be None on a fully-warm ``--resume`` run (the
+    campaign never re-executed, so there is no fresh per-task tally);
+    the section then reports exec-manifest health alone.
     """
     from repro.analysis.tables import format_table
 
-    rows = [
-        ("campaign", task_id, counts.ok, counts.errors)
-        for task_id, counts in sorted(summary.counts.items())
-    ]
+    rows = []
+    lines = []
+    if summary is not None:
+        rows.extend(
+            ("campaign", task_id, counts.ok, counts.errors)
+            for task_id, counts in sorted(summary.counts.items())
+        )
+        lines.append(
+            f"campaign: {summary.total_ok} ok, {summary.total_errors} errors "
+            f"across {len(summary.counts)} tasks"
+        )
+        flaky = summary.flaky_tasks()
+        if flaky:
+            lines.append(f"flaky tasks: {', '.join(flaky)}")
+    else:
+        lines.append(
+            "campaign tallies unavailable: every campaign section was served "
+            "from the exec cache (--resume), nothing re-executed"
+        )
     if manifest is not None:
         rows.extend(
             ("exec", record.label, 0, 1)
@@ -47,18 +66,11 @@ def _measurement_health(summary, manifest=None) -> str:
             else ("exec", record.label, 1, 0)
             for record in manifest.records
         )
-    lines = [
-        f"campaign: {summary.total_ok} ok, {summary.total_errors} errors "
-        f"across {len(summary.counts)} tasks"
-    ]
-    flaky = summary.flaky_tasks()
-    if flaky:
-        lines.append(f"flaky tasks: {', '.join(flaky)}")
-    if manifest is not None:
         lines.append(
             f"exec: {manifest.executed} shards executed, "
             f"{manifest.cache_hits} served from cache, {manifest.errors} failed "
-            f"({manifest.workers} workers, {manifest.wall_s:.1f} s wall)"
+            f"({manifest.workers} workers, {manifest.backend} backend, "
+            f"{manifest.wall_s:.1f} s wall)"
         )
     lines.append(format_table(["source", "unit", "ok", "errors"], rows))
     return "\n\n".join(lines)
@@ -70,8 +82,13 @@ def generate_sections(
     """Run every experiment and collect rendered sections.
 
     With ``exec_runner`` (an :class:`~repro.exec.runner.ExecRunner`),
-    the shardable campaigns run on the worker pool and the
-    measurement-health section includes the run manifest.
+    the shardable campaigns run on the worker pool, every section
+    body is content-addressed in the exec cache (kind
+    ``report.section``), and the measurement-health section includes
+    the run manifest.  On ``--resume``, sections whose shard keys are
+    warm are *skipped entirely* — their bodies (and the experiments
+    behind them) never recompute — and the skipped/recomputed counts
+    are logged.
     """
     from repro.experiments.classify import run_classify
     from repro.experiments.controlled import (
@@ -87,67 +104,105 @@ def generate_sections(
     from repro.experiments.placement_exp import run_placement
     from repro.experiments.weblab import WeblabConfig, run_weblab
 
-    sections: list[ReportSection] = []
+    # Shared experiment inputs, built lazily and at most once: a
+    # section served from the cache never forces the campaign behind
+    # it to rebuild — that laziness is what makes --resume incremental.
+    memo: dict = {}
 
-    weblab = run_weblab(WeblabConfig(seed=seed, scale=scale))
-    sections.append(
-        _section("Web-server campaign", "Sec. III-A, Fig. 2", weblab.render(series_points=10))
-    )
+    def once(name: str, build):
+        if name not in memo:
+            memo[name] = build()
+        return memo[name]
 
-    controlled_config = ControlledConfig(seed=seed, scale=scale)
+    def weblab_of():
+        return once("weblab", lambda: run_weblab(WeblabConfig(seed=seed, scale=scale)))
+
+    def campaign_of():
+        def build():
+            config = ControlledConfig(seed=seed, scale=scale)
+            if exec_runner is None:
+                return run_controlled(config)
+            return run_controlled_exec(config, exec_runner)
+
+        return once("campaign", build)
+
+    def longitudinal_of():
+        top_n = 30 if scale == "paper" else 8
+        samples = 50 if scale == "paper" else 10
+        return once(
+            "longitudinal",
+            lambda: run_longitudinal(
+                campaign_of(), top_n=top_n, samples=samples, exec_runner=exec_runner
+            ),
+        )
+
+    builders = [
+        ("Web-server campaign", "Sec. III-A, Fig. 2",
+         lambda: weblab_of().render(series_points=10)),
+        ("Controlled senders", "Sec. III-B, Figs. 3-5",
+         lambda: campaign_of().result.render(series_points=10)),
+        ("Persistency of gains", "Sec. IV, Figs. 6-7, Table I",
+         lambda: longitudinal_of().render()),
+        ("Path diversity", "Sec. V-A, Fig. 8",
+         lambda: run_diversity(campaign_of()).render(series_points=8)),
+        ("Who gains", "Sec. V-B, Figs. 9-11",
+         lambda: run_factors(campaign_of()).render()),
+        ("C4.5 thresholds", "Sec. V-B",
+         lambda: run_classify(campaign_of()).render()),
+        ("Economics", "Abstract, Sec. VII-D",
+         lambda: run_cost(weblab_of()).render()),
+        ("Placement planning (extension)", "Sec. VII-A",
+         lambda: run_placement(seed=seed, scale=scale).render()),
+        ("Multi-hop overlays (extension)", "Sec. VII-B",
+         lambda: run_multihop(seed=seed, scale=scale).render()),
+    ]
+    entries = [(title, reference) for title, reference, _build in builders]
+
     if exec_runner is None:
-        campaign = run_controlled(controlled_config)
+        bodies = [build() for _title, _reference, build in builders]
     else:
-        campaign = run_controlled_exec(controlled_config, exec_runner)
-    sections.append(
-        _section(
-            "Controlled senders", "Sec. III-B, Figs. 3-5", campaign.result.render(series_points=10)
-        )
-    )
+        from repro.exec.plan import ExecTask
+        from repro.exec.spec import TaskSpec
 
-    top_n = 30 if scale == "paper" else 8
-    samples = 50 if scale == "paper" else 10
-    longitudinal = run_longitudinal(
-        campaign, top_n=top_n, samples=samples, exec_runner=exec_runner
-    )
-    sections.append(
-        _section("Persistency of gains", "Sec. IV, Figs. 6-7, Table I", longitudinal.render())
-    )
-    if longitudinal.campaign_summary is not None:
-        manifest = exec_runner.manifest if exec_runner is not None else None
-        sections.append(
-            _section(
-                "Measurement health", "harness",
-                _measurement_health(longitudinal.campaign_summary, manifest),
+        tasks = [
+            ExecTask(
+                spec=TaskSpec(
+                    "report.section", seed, index, len(builders),
+                    params={"scale": scale, "title": title},
+                ),
+                fn=build,
             )
+            for index, (title, _reference, build) in enumerate(builders)
+        ]
+        # run_inline, not run: section thunks drive the exec runner
+        # themselves (campaign shards), so they must stay in-driver.
+        bodies = exec_runner.run_inline(tasks, stage="report.sections")
+        records = [
+            record for record in exec_runner.manifest.records
+            if record.stage == "report.sections"
+        ]
+        skipped = sum(1 for record in records if record.status == "cached")
+        print(
+            f"[report] sections: {skipped} served from cache (skipped), "
+            f"{len(records) - skipped} recomputed"
         )
 
-    sections.append(
-        _section(
-            "Path diversity", "Sec. V-A, Fig. 8", run_diversity(campaign).render(series_points=8)
+    sections = [
+        _section(title, reference, body)
+        for (title, reference), body in zip(entries, bodies)
+    ]
+
+    # The health section is run-specific (timings, cache hits) and is
+    # therefore never cached; campaign tallies exist only when the
+    # campaign actually re-executed this run.
+    longitudinal = memo.get("longitudinal")
+    summary = longitudinal.campaign_summary if longitudinal is not None else None
+    if summary is not None or exec_runner is not None:
+        manifest = exec_runner.manifest if exec_runner is not None else None
+        health = _section(
+            "Measurement health", "harness", _measurement_health(summary, manifest)
         )
-    )
-    sections.append(
-        _section("Who gains", "Sec. V-B, Figs. 9-11", run_factors(campaign).render())
-    )
-    sections.append(
-        _section("C4.5 thresholds", "Sec. V-B", run_classify(campaign).render())
-    )
-    sections.append(
-        _section("Economics", "Abstract, Sec. VII-D", run_cost(weblab).render())
-    )
-    sections.append(
-        _section(
-            "Placement planning (extension)", "Sec. VII-A",
-            run_placement(seed=seed, scale=scale).render(),
-        )
-    )
-    sections.append(
-        _section(
-            "Multi-hop overlays (extension)", "Sec. VII-B",
-            run_multihop(seed=seed, scale=scale).render(),
-        )
-    )
+        sections.insert(3, health)
     return sections
 
 

@@ -1,0 +1,339 @@
+"""Fault-matrix tests for the crash-resilient coordinator backend.
+
+Every scenario asserts the tentpole invariant: merged results are
+byte-identical to a sequential ``--workers 1`` run — any worker
+count, any kill schedule, any backend.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec.backend import (
+    CoordinatorBackend,
+    LocalForkBackend,
+    make_backend,
+)
+from repro.exec.cache import ResultCache
+from repro.exec.coordinator import CampaignLedger, Coordinator, WorkerChaos
+from repro.exec.plan import ExecTask
+from repro.exec.runner import ExecConfig, ExecRunner
+from repro.exec.spec import TaskSpec
+
+
+def make_tasks(n, marker_dir=None, sleeps=None):
+    """(key, label, fn) triples with optional side-effect markers.
+
+    Each execution appends a line to ``<marker_dir>/marker-<i>``, so a
+    test can count *real* recomputations across worker processes (the
+    markers land on the shared filesystem).  Payloads include a
+    multi-byte character so byte-identity checks cover encoding too.
+    """
+    tasks = []
+    for i in range(n):
+        spec = TaskSpec("coord.test", 7, i, n)
+
+        def fn(i=i):
+            if marker_dir is not None:
+                with open(marker_dir / f"marker-{i}", "a") as handle:
+                    handle.write("x\n")
+            if sleeps and i in sleeps:
+                time.sleep(sleeps[i])
+            return {"shard": i, "rows": [i, i * i], "note": "café"}
+
+        tasks.append((spec.key(), spec.label, fn))
+    return tasks
+
+
+def baseline(tmp_path, tasks):
+    """Sequential local-fork run: the byte-identity reference."""
+    cache = ResultCache(tmp_path / "baseline-cache")
+    payloads, outcomes = LocalForkBackend().execute(
+        tasks, cache=cache, workers=1
+    )
+    assert all(outcome.ok for outcome in outcomes)
+    return payloads, cache
+
+
+def assert_bytes_identical(reference: ResultCache, cache: ResultCache, tasks):
+    """Cached files must match the reference byte for byte."""
+    for key, _label, _fn in tasks:
+        assert cache.path_for(key).read_bytes() == (
+            reference.path_for(key).read_bytes()
+        )
+
+
+class TestHappyPath:
+    def test_matches_sequential_run(self, tmp_path):
+        tasks = make_tasks(5)
+        reference, ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(lease_timeout_s=5.0)
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=3)
+        assert payloads == reference
+        assert all(outcome.ok for outcome in outcomes)
+        assert all(outcome.worker is not None for outcome in outcomes)
+        assert backend.last_stats["executed"] == 5
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+    def test_ledger_removed_on_clean_finish(self, tmp_path):
+        tasks = make_tasks(3)
+        cache = ResultCache(tmp_path / "coord-cache")
+        CoordinatorBackend(lease_timeout_s=5.0).execute(
+            tasks, cache=cache, workers=2
+        )
+        ledger = CampaignLedger(cache.root, [key for key, _l, _f in tasks])
+        assert not ledger.path.exists()
+
+
+class TestWorkerSigkillMidShard:
+    def test_shard_releases_and_completes(self, tmp_path):
+        tasks = make_tasks(4)
+        reference, ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(
+            lease_timeout_s=5.0,
+            chaos=WorkerChaos(kill=((0, 1),)),  # SIGKILL on attempt 1
+        )
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=2)
+        assert payloads == reference
+        assert all(outcome.ok for outcome in outcomes)
+        assert outcomes[0].attempts == 2  # re-leased after the kill
+        assert backend.last_stats["worker_deaths"] >= 1
+        assert backend.last_stats["respawns"] >= 1
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+
+class TestWorkerHangPastLeaseDeadline:
+    def test_lease_expires_and_shard_releases(self, tmp_path):
+        tasks = make_tasks(3)
+        reference, ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(
+            lease_timeout_s=0.4,
+            chaos=WorkerChaos(stall=((0, 1),), stall_s=1.5),
+        )
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=2)
+        assert payloads == reference
+        assert all(outcome.ok for outcome in outcomes)
+        assert backend.last_stats["expired_leases"] >= 1
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+    def test_stale_ack_from_recovered_worker_is_ignored(self, tmp_path):
+        # Shard 0 stalls past its lease (attempt 1 re-leased elsewhere),
+        # then the stalled worker wakes, computes, and acks its revoked
+        # lease.  A slow co-shard keeps the campaign alive long enough
+        # for that stale ack to actually arrive.
+        tasks = make_tasks(2, sleeps={1: 2.5})
+        reference, ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(
+            lease_timeout_s=0.45,
+            chaos=WorkerChaos(stall=((0, 1),), stall_s=1.3),
+        )
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=2)
+        assert payloads == reference
+        assert all(outcome.ok for outcome in outcomes)
+        assert backend.last_stats["stale_acks"] >= 1
+        assert backend.last_stats["expired_leases"] >= 1
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+
+class TestHeartbeatKeepsSlowShardAlive:
+    def test_long_compute_is_not_expired(self, tmp_path):
+        # The shard takes 1.0 s against a 0.4 s lease window: only the
+        # heartbeat renewals (every ~0.13 s) keep it leased.
+        tasks = make_tasks(2, sleeps={0: 1.0})
+        reference, ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(lease_timeout_s=0.4)
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=2)
+        assert payloads == reference
+        assert outcomes[0].attempts == 1  # never re-leased
+        assert backend.last_stats["expired_leases"] == 0
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+
+class TestCoordinatorRestartMidCampaign:
+    def test_restart_recovers_losslessly_with_zero_recompute(self, tmp_path):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        tasks = make_tasks(5, marker_dir=markers)
+        reference, ref_cache = baseline(
+            tmp_path, make_tasks(5)  # no markers in the reference run
+        )
+        cache = ResultCache(tmp_path / "coord-cache")
+        crashing = Coordinator(
+            tasks, cache, workers=1, lease_timeout_s=5.0, abort_after=2
+        )
+        with pytest.raises(ExecError, match="simulated crash"):
+            crashing.run()
+        ledger = CampaignLedger(cache.root, [key for key, _l, _f in tasks])
+        assert ledger.path.exists()  # exists <=> the campaign crashed
+        assert len(ledger.load()) == 2
+
+        restarted = Coordinator(tasks, cache, workers=1, lease_timeout_s=5.0)
+        payloads, outcomes = restarted.run()
+        assert payloads == reference
+        assert restarted.stats["recovered"] == 2
+        assert restarted.stats["executed"] == 3
+        statuses = [outcome.status for outcome in outcomes]
+        assert statuses == ["cached", "cached", "ok", "ok", "ok"]
+        # Zero recompute: every shard executed exactly once across both
+        # runs (the markers are appended by the worker on real work).
+        executions = [
+            (markers / f"marker-{i}").read_text().count("x") for i in range(5)
+        ]
+        assert executions == [1, 1, 1, 1, 1]
+        assert not ledger.path.exists()  # clean finish removed it
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+
+class TestPoisonShardQuarantine:
+    def test_budget_exhaustion_degrades_gracefully(self, tmp_path):
+        tasks = make_tasks(4)
+        reference, _ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(
+            lease_timeout_s=5.0,
+            max_attempts=2,
+            chaos=WorkerChaos(kill=((1, None),)),  # kill on *every* attempt
+        )
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=2)
+        assert not outcomes[1].ok
+        assert outcomes[1].attempts == 2
+        assert "poison shard quarantined after 2 attempt(s)" in outcomes[1].error
+        assert payloads[1] is None
+        # The other shards still completed, byte-identical.
+        for i in (0, 2, 3):
+            assert outcomes[i].ok
+            assert payloads[i] == reference[i]
+        assert backend.last_stats["quarantined"] == 1
+
+
+class TestInlineFallback:
+    def test_inline_matches_sequential_run(self, tmp_path):
+        tasks = make_tasks(4)
+        reference, ref_cache = baseline(tmp_path, tasks)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(lease_timeout_s=5.0, use_processes=False)
+        payloads, outcomes = backend.execute(tasks, cache=cache, workers=2)
+        assert payloads == reference
+        assert all(outcome.worker == "inline" for outcome in outcomes)
+        assert_bytes_identical(ref_cache, cache, tasks)
+
+    def test_inline_rejects_kill_chaos(self, tmp_path):
+        tasks = make_tasks(2)
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(
+            use_processes=False, chaos=WorkerChaos(kill=((0, 1),))
+        )
+        with pytest.raises(ExecError, match="no fork"):
+            backend.execute(tasks, cache=cache, workers=1)
+
+    def test_inline_retries_clean_errors_with_budget(self, tmp_path):
+        spec = TaskSpec("coord.flaky", 7, 0, 1)
+        calls = tmp_path / "calls"
+
+        def flaky():
+            count = calls.read_text().count("x") if calls.exists() else 0
+            with open(calls, "a") as handle:
+                handle.write("x\n")
+            if count == 0:
+                raise ValueError("first attempt fails")
+            return {"ok": True}
+
+        cache = ResultCache(tmp_path / "coord-cache")
+        backend = CoordinatorBackend(use_processes=False, max_attempts=3)
+        payloads, outcomes = backend.execute(
+            [(spec.key(), spec.label, flaky)], cache=cache, workers=1
+        )
+        assert payloads == [{"ok": True}]
+        assert outcomes[0].attempts == 2
+
+
+class TestWorkerChaosParsing:
+    def test_full_mini_language(self):
+        chaos = WorkerChaos.parse("kill=0@1,stall=3@*,kill=2,stall-s=2.5")
+        assert chaos.kill == ((0, 1), (2, 1))  # @ omitted -> attempt 1
+        assert chaos.stall == ((3, None),)  # @* -> every attempt
+        assert chaos.stall_s == 2.5
+        assert chaos.kills_anything
+
+    def test_empty_entries_ignored(self):
+        chaos = WorkerChaos.parse(" kill=1@2 , ")
+        assert chaos.kill == ((1, 2),)
+        assert not WorkerChaos.parse("stall=0").kills_anything
+
+    def test_malformed_entries_raise(self):
+        for text in ("kaboom", "boom=1", "kill=x", "kill=1@y"):
+            with pytest.raises(ExecError):
+                WorkerChaos.parse(text)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_CHAOS", raising=False)
+        assert WorkerChaos.from_env() is None
+        monkeypatch.setenv("REPRO_EXEC_CHAOS", "kill=0@1")
+        assert WorkerChaos.from_env().kill == ((0, 1),)
+
+
+class TestCampaignLedger:
+    def test_mark_done_load_clear_round_trip(self, tmp_path):
+        keys = ["a" * 64, "b" * 64]
+        ledger = CampaignLedger(tmp_path, keys)
+        assert ledger.load() == set()
+        ledger.mark_done(keys[0])
+        assert CampaignLedger(tmp_path, keys).load() == {keys[0]}
+        ledger.clear()
+        assert not ledger.path.exists()
+        ledger.clear()  # idempotent
+
+    def test_corrupt_ledger_reads_as_empty(self, tmp_path):
+        keys = ["a" * 64]
+        ledger = CampaignLedger(tmp_path, keys)
+        ledger.mark_done(keys[0])
+        ledger.path.write_text("{torn")
+        assert CampaignLedger(tmp_path, keys).load() == set()
+
+    def test_campaign_id_depends_on_key_set(self, tmp_path):
+        a = CampaignLedger(tmp_path, ["a" * 64])
+        b = CampaignLedger(tmp_path, ["b" * 64])
+        assert a.campaign_id != b.campaign_id
+
+
+class TestRunnerIntegration:
+    def test_runner_with_coordinator_backend(self, tmp_path):
+        specs = [TaskSpec("coord.runner", 7, i, 3) for i in range(3)]
+        tasks = [
+            ExecTask(spec=spec, fn=lambda i=i: {"i": i})
+            for i, spec in enumerate(specs)
+        ]
+        runner = ExecRunner(ExecConfig(
+            workers=2, cache_dir=tmp_path, backend="coordinator",
+            lease_timeout_s=5.0,
+        ))
+        payloads = runner.run(tasks)
+        assert payloads == [{"i": 0}, {"i": 1}, {"i": 2}]
+        manifest = runner.manifest
+        assert manifest.backend == "coordinator"
+        assert manifest.executed == 3
+        body = json.loads(manifest.write(tmp_path / "m.json").read_text())
+        assert body["backend"] == "coordinator"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ExecError, match="unknown backend"):
+            ExecConfig(cache_dir=tmp_path, backend="carrier-pigeon")
+        with pytest.raises(ExecError, match="unknown exec backend"):
+            make_backend("carrier-pigeon")
+
+    def test_coordinator_knob_validation(self, tmp_path):
+        with pytest.raises(ExecError):
+            ExecConfig(cache_dir=tmp_path, lease_timeout_s=0)
+        with pytest.raises(ExecError):
+            ExecConfig(cache_dir=tmp_path, max_attempts=0)
+        with pytest.raises(ExecError):
+            ExecConfig(cache_dir=tmp_path, heartbeat_s=-1)

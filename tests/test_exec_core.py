@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.errors import ExecError
-from repro.exec.cache import ResultCache
+from repro.exec.cache import MISS, ResultCache
 from repro.exec.manifest import RunManifest, ShardRecord
 from repro.exec.pool import ShardOutcome
 from repro.exec.shard import default_shard_count, partition_indices
@@ -99,6 +99,42 @@ class TestResultCache:
         assert cache.get(key) is None
         path.write_text(json.dumps({"key": "someone-else", "payload": [9]}))
         assert cache.get(key) is None
+
+    def test_truncated_payload_mid_file_is_a_miss_and_quarantined(self, tmp_path):
+        # The regression: a payload truncated mid-file — here mid
+        # multi-byte character, the nastiest case (raises
+        # UnicodeDecodeError, not JSONDecodeError) — must read as a
+        # cache miss, never an error, and the bad file must be moved
+        # aside so the recompute lands cleanly.
+        cache = ResultCache(tmp_path)
+        key = TaskSpec("k", 7, 0, 1).key()
+        path = cache.put(key, {"note": "café" * 40})
+        raw = json.dumps(
+            {"key": key, "payload": {"note": "café" * 40}}, ensure_ascii=False
+        ).encode("utf-8")
+        cut = raw.index("é".encode("utf-8")) + 1  # inside the 2-byte char
+        path.write_bytes(raw[:cut])
+        assert cache.lookup(key) is MISS
+        assert not path.exists()  # quarantined, not left to re-trip
+        assert path.with_suffix(".corrupt").exists()  # evidence kept
+        cache.put(key, {"note": "café" * 40})  # recompute lands cleanly
+        assert cache.get(key) == {"note": "café" * 40}
+
+    def test_has_is_existence_only_but_lookup_validates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = TaskSpec("k", 7, 0, 1).key()
+        path = cache.put(key, [1, 2])
+        path.write_bytes(path.read_bytes()[:5])  # torn entry
+        assert cache.has(key)  # has() is a cheap existence check...
+        assert cache.lookup(key) is MISS  # ...lookup() is the truth
+        assert not cache.has(key)  # and it quarantined the bad file
+
+    def test_lookup_distinguishes_none_payload_from_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = TaskSpec("k", 7, 0, 1).key()
+        cache.put(key, None)
+        assert cache.lookup(key) is None
+        assert cache.lookup("ab" + "0" * 62) is MISS
 
     def test_stats_exclude_run_manifests(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,160 @@
+"""Unit tests for the lease-table state machine (fake clock, no processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec.lease import Lease, LeaseConfig, LeaseTable
+
+
+def table(n=3, **kwargs) -> LeaseTable:
+    defaults = dict(lease_timeout_s=10.0, max_attempts=3, backoff_s=1.0,
+                    backoff_factor=2.0, backoff_cap_s=4.0)
+    defaults.update(kwargs)
+    return LeaseTable(n, LeaseConfig(**defaults))
+
+
+class TestLeaseConfig:
+    def test_backoff_is_bounded_exponential(self):
+        config = LeaseConfig(backoff_s=1.0, backoff_factor=2.0, backoff_cap_s=5.0)
+        assert config.backoff_for(1) == 1.0
+        assert config.backoff_for(2) == 2.0
+        assert config.backoff_for(3) == 4.0
+        assert config.backoff_for(4) == 5.0  # capped
+        assert config.backoff_for(10) == 5.0
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(ExecError):
+            LeaseConfig(lease_timeout_s=0)
+        with pytest.raises(ExecError):
+            LeaseConfig(max_attempts=0)
+        with pytest.raises(ExecError):
+            LeaseConfig(backoff_s=-1)
+        with pytest.raises(ExecError):
+            LeaseConfig(backoff_factor=0.5)
+
+
+class TestGranting:
+    def test_grants_in_shard_order_with_fresh_lease_ids(self):
+        t = table(3)
+        leases = [t.grant(f"w{i}", now=0.0) for i in range(3)]
+        assert [lease.shard for lease in leases] == [0, 1, 2]
+        assert [lease.lease_id for lease in leases] == [1, 2, 3]
+        assert all(lease.attempt == 1 for lease in leases)
+        assert t.grant("w9", now=0.0) is None  # nothing left
+
+    def test_deadline_is_grant_time_plus_timeout(self):
+        lease = table(1).grant("w0", now=100.0)
+        assert lease.granted_at == 100.0
+        assert lease.deadline == 110.0
+
+    def test_negative_shard_count_rejected(self):
+        with pytest.raises(ExecError):
+            LeaseTable(-1)
+
+
+class TestRenewal:
+    def test_heartbeat_extends_deadline(self):
+        t = table(1)
+        lease = t.grant("w0", now=0.0)
+        assert t.renew(lease.lease_id, now=8.0)
+        assert t.expire(now=10.0) == []  # would have lapsed without the beat
+        lapsed = t.expire(now=18.0)
+        assert [lapse.shard for lapse in lapsed] == [0]
+
+    def test_renewing_revoked_lease_is_a_noop(self):
+        t = table(1)
+        lease = t.grant("w0", now=0.0)
+        t.expire(now=10.0)
+        assert not t.renew(lease.lease_id, now=11.0)
+
+
+class TestExpiryAndRevocation:
+    def test_expired_shard_requeues_with_backoff(self):
+        t = table(1)
+        t.grant("w0", now=0.0)
+        assert len(t.expire(now=10.0)) == 1
+        assert t.expired == 1
+        # Attempt 1 burned -> backoff_for(1) = 1s before re-grant.
+        assert not t.has_grantable(now=10.5)
+        assert t.has_grantable(now=11.0)
+        regrant = t.grant("w1", now=11.0)
+        assert regrant.shard == 0
+        assert regrant.attempt == 2
+
+    def test_revoke_worker_requeues_everything_it_held(self):
+        t = table(3)
+        t.grant("w0", now=0.0)
+        t.grant("w1", now=0.0)
+        revoked = t.revoke_worker("w0", now=1.0, reason="worker died")
+        assert [lease.shard for lease in revoked] == [0]
+        assert t.last_error(0) == "worker died"
+        # w1's lease is untouched; shard 2 was never leased.
+        assert t.outstanding == 3
+
+    def test_attempt_budget_exhaustion_quarantines(self):
+        t = table(1, max_attempts=2, backoff_s=0.0)
+        t.grant("w0", now=0.0)
+        t.expire(now=10.0)
+        t.grant("w1", now=10.0)
+        t.expire(now=20.0)
+        assert t.quarantined == [0]
+        assert t.all_settled  # quarantine settles the shard (as poison)
+        assert t.grant("w2", now=30.0) is None
+
+    def test_clean_error_ack_requeues_like_expiry(self):
+        t = table(1, backoff_s=0.0)
+        lease = t.grant("w0", now=0.0)
+        settled = t.complete(lease.lease_id, now=1.0, error="ValueError: boom")
+        assert settled is not None
+        assert t.last_error(0) == "ValueError: boom"
+        assert t.grant("w1", now=1.0).attempt == 2
+
+
+class TestCompletion:
+    def test_complete_marks_done(self):
+        t = table(2)
+        lease = t.grant("w0", now=0.0)
+        assert isinstance(t.complete(lease.lease_id, now=1.0), Lease)
+        assert t.done == [0]
+        assert t.outstanding == 1
+        assert not t.all_settled
+
+    def test_stale_ack_is_counted_and_ignored(self):
+        t = table(1)
+        lease = t.grant("w0", now=0.0)
+        t.expire(now=10.0)  # revoked: the ack below is stale
+        assert t.complete(lease.lease_id, now=12.0) is None
+        assert t.stale_acks == 1
+        # The shard still belongs to the replacement lease's flow.
+        replacement = t.grant("w1", now=12.0)
+        assert t.complete(replacement.lease_id, now=13.0) is not None
+        assert t.done == [0]
+
+    def test_complete_shard_outside_lease_flow(self):
+        t = table(1)
+        t.grant("w0", now=0.0)
+        t.complete_shard(0)  # cache recovery path
+        assert t.done == [0]
+        assert t.expire(now=100.0) == []  # its lease went with it
+
+
+class TestQueries:
+    def test_next_wakeup_tracks_deadlines_and_backoffs(self):
+        t = table(2)
+        t.grant("w0", now=0.0)
+        assert t.next_wakeup(now=0.0) == 10.0  # the live lease's deadline
+        t.expire(now=10.0)
+        # Shard 0 backs off 1s; shard 1 is grantable now, so only the
+        # backoff expiry is a future instant.
+        assert t.next_wakeup(now=10.0) == 11.0
+        t.grant("w1", now=10.0)  # shard 1
+        assert t.next_wakeup(now=10.0) == 11.0  # backoff before deadline (20)
+
+    def test_next_wakeup_none_when_all_settled(self):
+        t = table(1)
+        lease = t.grant("w0", now=0.0)
+        t.complete(lease.lease_id, now=1.0)
+        assert t.next_wakeup(now=1.0) is None
+        assert t.all_settled

@@ -99,6 +99,23 @@ class TestPool:
         assert all(o.status == "cached" for o in outcomes)
         assert all(o.attempts == 0 for o in outcomes)
 
+    def test_resume_recomputes_corrupt_entry_instead_of_serving_it(self, tmp_path):
+        # Regression: a truncated cache entry used to pass the resume
+        # pre-pass (``has()`` saw a file) and either crash the run or
+        # serve None as a payload.  It must count as a miss and
+        # recompute.
+        cache = ResultCache(tmp_path)
+        tasks = _triples(3, lambda i: (lambda: i * 10))
+        execute_shards(tasks, cache=cache, workers=2)
+        path = cache.path_for(tasks[1][0])
+        path.write_bytes(path.read_bytes()[:7])  # torn mid-file
+        resumed, outcomes = execute_shards(
+            tasks, cache=cache, workers=2, resume=True
+        )
+        assert resumed == [0, 10, 20]
+        assert [o.status for o in outcomes] == ["cached", "ok", "cached"]
+        assert path.with_suffix(".corrupt").exists()
+
     def test_without_resume_cache_is_write_only(self, tmp_path):
         cache = ResultCache(tmp_path)
         tasks = _triples(2, lambda i: (lambda: i))
