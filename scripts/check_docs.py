@@ -1,12 +1,18 @@
 #!/usr/bin/env python
 """Docs-consistency gate: the CLI and the docs must not drift apart.
 
-Two invariants, both cheap and both historically violated by docs rot:
+Four invariants, all cheap and all historically violated by docs rot:
 
 1. Every ``repro`` CLI verb (the argparse subcommands) is mentioned in
    README.md — an operator reading the README discovers every verb.
 2. Every ``DESIGN.md §N`` reference in EXPERIMENTS.md and README.md
    points at a section heading that actually exists in DESIGN.md.
+3. Every long option a verb accepts (read from the live argparse
+   tree, so new flags are caught the moment they land) appears
+   literally in README.md.
+4. Conversely, every ``--flag`` README mentions on a ``repro`` command
+   line exists in the argparse tree — documented-but-removed flags
+   fail the gate too.
 
 Run from the repository root (CI does)::
 
@@ -52,6 +58,47 @@ def cli_verbs() -> list[str]:
     return sorted(verbs)
 
 
+def _collect_flags(parser: argparse.ArgumentParser, prefix: str = "") -> dict[str, set[str]]:
+    """Long option strings per verb, recursing into nested subparsers."""
+    flags: dict[str, set[str]] = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                full = f"{prefix}{name}"
+                own = {
+                    option
+                    for sub_action in sub._actions
+                    for option in sub_action.option_strings
+                    if option.startswith("--")
+                }
+                own.discard("--help")
+                flags[full] = own
+                flags.update(_collect_flags(sub, prefix=f"{full} "))
+    return flags
+
+
+def cli_flags() -> dict[str, set[str]]:
+    """The repro CLI's long options per verb, read from the live parser."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.cli import _build_parser
+
+    return _collect_flags(_build_parser())
+
+
+def readme_command_flags(readme_text: str) -> set[str]:
+    """Every ``--flag`` token on a line that invokes ``repro``.
+
+    Scoped to ``repro`` command lines so flags of auxiliary scripts
+    (bench_record, check_docs itself) documented nearby don't trip the
+    reverse check.
+    """
+    flags: set[str] = set()
+    for line in readme_text.splitlines():
+        if "repro " in line:
+            flags.update(re.findall(r"--[a-z][a-z0-9-]*", line))
+    return flags
+
+
 def design_sections(design_text: str) -> set[str]:
     """Section numbers declared as ``## N.`` headings in DESIGN.md."""
     return set(re.findall(r"^## (\d+)\.", design_text, flags=re.MULTILINE))
@@ -82,6 +129,23 @@ def main() -> int:
                 f"(expected the literal text 'repro {verb}')"
             )
 
+    flag_map = cli_flags()
+    for verb in sorted(flag_map):
+        for flag in sorted(flag_map[verb]):
+            if not re.search(rf"(?<![\w-]){re.escape(flag)}(?![\w-])", readme):
+                problems.append(
+                    f"README.md never documents {flag!r} "
+                    f"(accepted by 'repro {verb}')"
+                )
+
+    known_flags = set().union(*flag_map.values()) if flag_map else set()
+    for flag in sorted(readme_command_flags(readme)):
+        if flag not in known_flags:
+            problems.append(
+                f"README.md shows {flag!r} on a repro command line, but no "
+                f"repro verb accepts it"
+            )
+
     sections = design_sections(design)
     for name, text in (("EXPERIMENTS.md", experiments), ("README.md", readme)):
         for ref in sorted(design_references(text), key=int):
@@ -97,8 +161,10 @@ def main() -> int:
             print(f"  - {problem}", file=sys.stderr)
         return 1
 
-    print(f"docs-consistency OK: {len(cli_verbs())} CLI verbs in README, "
-          f"all DESIGN.md section references resolve")
+    flag_count = sum(len(flags) for flags in flag_map.values())
+    print(f"docs-consistency OK: {len(cli_verbs())} CLI verbs and "
+          f"{flag_count} flags in README, all DESIGN.md section "
+          f"references resolve")
     return 0
 
 

@@ -131,26 +131,43 @@ class HealthTransition:
     reason: str
 
 
-@dataclass
+@dataclass(slots=True)
 class PathHealth:
-    """State machine for one candidate path."""
+    """State machine for one candidate path.
+
+    Slotted: ``observe`` runs once per probe result — the innermost
+    control-plane loop — and every classification reads half a dozen
+    instance attributes, so fixed slot offsets beat ``__dict__``
+    lookups.  The runtime fields are declared ``init=False`` with
+    ``repr=False, compare=False`` to keep the constructor signature,
+    repr, and equality semantics of the pre-slots class.
+    """
 
     label: str
     config: HealthConfig = field(default_factory=HealthConfig)
     state: PathState = PathState.HEALTHY
     created_at: float = 0.0
+    baseline_rtt_ms: float | None = field(default=None, init=False, repr=False, compare=False)
+    baseline_throughput_mbps: float | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    transitions: list[HealthTransition] = field(init=False, repr=False, compare=False)
+    _good_streak: int = field(default=0, init=False, repr=False, compare=False)
+    _notgood_streak: int = field(default=0, init=False, repr=False, compare=False)
+    _bad_streak: int = field(default=0, init=False, repr=False, compare=False)
+    _gray_streak: int = field(default=0, init=False, repr=False, compare=False)
+    _last_notgood_time: float = field(
+        default=-math.inf, init=False, repr=False, compare=False
+    )
+    _since: float = field(default=0.0, init=False, repr=False, compare=False)
+    _time_in_state: dict[PathState, float] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
-        self.baseline_rtt_ms: float | None = None
-        self.baseline_throughput_mbps: float | None = None
-        self._good_streak = 0
-        self._notgood_streak = 0
-        self._bad_streak = 0
-        self._gray_streak = 0
-        self._last_notgood_time = -math.inf
         self._since = self.created_at
-        self._time_in_state: dict[PathState, float] = {s: 0.0 for s in PathState}
-        self.transitions: list[HealthTransition] = []
+        self._time_in_state = {s: 0.0 for s in PathState}
+        self.transitions = []
 
     # ------------------------------------------------------------------
     # observation classification

@@ -51,8 +51,19 @@ class OverlayPathOption:
 
     @property
     def concatenated(self) -> RouterPath:
-        """The A→O→B router-level path (the tunnel overlay's view)."""
-        return self.leg_to_node.concatenate(self.leg_from_node)
+        """The A→O→B router-level path (the tunnel overlay's view).
+
+        Built once and cached on the instance (frozen but not slotted):
+        the legs are immutable, and probe/decide loops ask for this
+        path every tick.  Sharing one object also lets the fastpath
+        mirror keep its per-path row indices and metric memo alive
+        across ticks instead of rebuilding them per call.
+        """
+        cached = self.__dict__.get("_concatenated")
+        if cached is None:
+            cached = self.leg_to_node.concatenate(self.leg_from_node)
+            object.__setattr__(self, "_concatenated", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -105,6 +116,21 @@ class PathSet:
     # ------------------------------------------------------------------
     # connection factories per measurement mode
     # ------------------------------------------------------------------
+    def _conn_cache(self) -> dict:
+        """Per-instance memo for the connection factories below.
+
+        Connections are immutable descriptions (frozen dataclasses
+        evaluating metrics lazily against the clock), so one instance
+        per mode serves every tick; rebuilding them per probe showed up
+        in chaos-campaign profiles.  Attached lazily because PathSet is
+        frozen but not slotted.
+        """
+        cache = self.__dict__.get("_connections")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_connections", cache)
+        return cache
+
     def _receiver_params(self) -> TcpParams:
         """Base TCP parameters for this pair (receiver-window bound)."""
         return TcpParams(
@@ -114,7 +140,12 @@ class PathSet:
 
     def direct_connection(self) -> TcpConnection:
         """Single-path TCP over the default Internet route."""
-        return TcpConnection(self.direct, self._receiver_params())
+        cache = self._conn_cache()
+        conn = cache.get("direct")
+        if conn is None:
+            conn = TcpConnection(self.direct, self._receiver_params())
+            cache["direct"] = conn
+        return conn
 
     def overlay_connection(self, option: OverlayPathOption) -> TcpConnection:
         """End-to-end TCP through the tunnel (plain overlay mode).
@@ -122,11 +153,17 @@ class PathSet:
         The tunnel's encapsulation reduces the MSS; the node's
         forwarding efficiency shaves the rate.
         """
-        tunnel = option.node.tunnel_for(self.dst_name)
-        forwarder = option.node.with_mode(NodeMode.FORWARD)
-        params = self._receiver_params().with_mss(tunnel.inner_mss_bytes)
-        params = params.with_efficiency(forwarder.relay_efficiency)
-        return TcpConnection(option.concatenated, params)
+        cache = self._conn_cache()
+        key = ("overlay", option.name)
+        conn = cache.get(key)
+        if conn is None:
+            tunnel = option.node.tunnel_for(self.dst_name)
+            forwarder = option.node.with_mode(NodeMode.FORWARD)
+            params = self._receiver_params().with_mss(tunnel.inner_mss_bytes)
+            params = params.with_efficiency(forwarder.relay_efficiency)
+            conn = TcpConnection(option.concatenated, params)
+            cache[key] = conn
+        return conn
 
     def split_chain(self, option: OverlayPathOption) -> SplitTcpChain:
         """Split-TCP through the node (split-overlay mode).
@@ -136,13 +173,19 @@ class PathSet:
         cleartext TCP headers (Sec. II-A), so there is no IPsec on that
         side by construction.
         """
-        tunnel = option.node.tunnel_for(self.dst_name)
-        params = self._receiver_params().with_mss(tunnel.inner_mss_bytes)
-        return SplitTcpChain(
-            segments=(option.leg_to_node, option.leg_from_node),
-            params=params,
-            proxy_efficiency=SPLIT_EFFICIENCY,
-        )
+        cache = self._conn_cache()
+        key = ("split", option.name)
+        chain = cache.get(key)
+        if chain is None:
+            tunnel = option.node.tunnel_for(self.dst_name)
+            params = self._receiver_params().with_mss(tunnel.inner_mss_bytes)
+            chain = SplitTcpChain(
+                segments=(option.leg_to_node, option.leg_from_node),
+                params=params,
+                proxy_efficiency=SPLIT_EFFICIENCY,
+            )
+            cache[key] = chain
+        return chain
 
     # ------------------------------------------------------------------
     # instantaneous throughput per mode

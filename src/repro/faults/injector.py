@@ -29,6 +29,7 @@ from repro.faults.events import (
     RouteFlap,
     Window,
 )
+from repro.net.links import mutation_epoch
 from repro.net.world import Internet
 
 
@@ -43,6 +44,32 @@ class FaultInjector:
         #: to detect withdraw/re-announce edges between clock moves.
         self._flap_phases: dict[int, int] = {}
         self.route_recomputations = 0
+        #: Impairment four-tuple last written per link, so steady-state
+        #: ticks skip the redundant ``impair`` call (which would bump
+        #: the global mutation epoch every tick and defeat every
+        #: epoch-keyed cache).  Valid only while the epoch matches
+        #: ``_applied_epoch`` — any outside mutation clears it.
+        self._applied: dict[int, tuple[float, float, float, float]] = {}
+        self._applied_epoch = -1
+        #: Effects dict of the last reconcile pass + managed-link memo.
+        #: When neither the composed effects nor the global epoch moved
+        #: since that pass, the per-link loop is a provable no-op (any
+        #: legacy-schedule transition mutates a link and bumps the
+        #: epoch), so steady-state ticks skip it entirely.
+        self._last_effects: dict[int, LinkEffect] | None = None
+        self._managed_cache: tuple[int, set[int]] | None = None
+        #: Legacy-schedule ``down_at`` verdicts per managed link at the
+        #: last full pass.  A link both injector-failed and legacy-
+        #: scheduled can see its verdict flip *without* an epoch bump
+        #: (the schedule only mutates links it owns), so the early-out
+        #: re-checks the links the two fault sources share.
+        self._last_legacy_down: dict[int, bool] = {}
+        self._overlap_cache: tuple[tuple[int, int], set[int]] | None = None
+        #: (event count, t) -> composed effects.  Effects are pure in
+        #: (t, events), and campaign runs replay the same tick grid
+        #: against one installed injector several times (once per
+        #: arm × strategy), so the compose loop repeats verbatim.
+        self._effects_cache: dict[tuple[int, float], dict[int, LinkEffect]] = {}
 
     def add(self, event: FaultEvent) -> FaultEvent:
         """Register one event; every link it names must exist."""
@@ -54,6 +81,7 @@ class FaultInjector:
         if unknown:
             raise ConfigError(f"{event.kind} event names unknown links {unknown}")
         self.events.append(event)
+        self._last_effects = None  # force a full reconcile pass
         if isinstance(event, RouteFlap):
             self._flap_phases[id(event)] = event.phase_at(self.internet.now)
         return event
@@ -78,16 +106,46 @@ class FaultInjector:
                 link_id, self.internet.now
             ):
                 link.restore()
+        self._applied.clear()
+        self._applied_epoch = -1
+        self._last_effects = None
+        self._last_legacy_down.clear()
+
+    def _legacy_overlap(self) -> set[int]:
+        """Managed links the legacy schedule also names (memoized)."""
+        key = (len(self.events), len(self.internet.failures.events))
+        cached = self._overlap_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        overlap = self.managed_links() & {
+            event.link_id for event in self.internet.failures.events
+        }
+        self._overlap_cache = (key, overlap)
+        return overlap
 
     def managed_links(self) -> set[int]:
-        """Union of every event's affected link ids."""
+        """Union of every event's affected link ids (memoized per
+        event-list length — events are only ever appended)."""
+        cached = self._managed_cache
+        if cached is not None and cached[0] == len(self.events):
+            return cached[1]
         managed: set[int] = set()
         for event in self.events:
             managed.update(event.link_ids)
+        self._managed_cache = (len(self.events), managed)
         return managed
 
     def effects_at(self, t: float) -> dict[int, LinkEffect]:
-        """Composed per-link effect of every active event at ``t``."""
+        """Composed per-link effect of every active event at ``t``.
+
+        Memoized per (event count, t) — effects are a pure function of
+        the event list and the instant, and replayed runs revisit the
+        same instants.  Callers must treat the result as read-only.
+        """
+        key = (len(self.events), t)
+        cached = self._effects_cache.get(key)
+        if cached is not None:
+            return cached
         effects: dict[int, LinkEffect] = {}
         for event in self.events:
             effect = event.effect_at(t)
@@ -96,27 +154,64 @@ class FaultInjector:
             for link_id in event.link_ids:
                 current = effects.get(link_id)
                 effects[link_id] = effect if current is None else current.merge(effect)
+        if len(self._effects_cache) >= 4096:
+            self._effects_cache.clear()
+        self._effects_cache[key] = effects
         return effects
 
     def apply(self, t: float) -> None:
         """Reconcile every managed link with the fault state at ``t``."""
         effects = self.effects_at(t)
+        if mutation_epoch() == self._applied_epoch and effects == self._last_effects:
+            # Candidate no-op pass: effects unchanged, no link mutated
+            # since the last pass (a legacy-schedule transition on a
+            # link it owns bumps the epoch).  Only a verdict flip on a
+            # link both sources name can hide behind a stale epoch, so
+            # re-check just those before skipping the reconcile loop.
+            down_at = self.internet.failures.down_at
+            last = self._last_legacy_down
+            if all(
+                down_at(link_id, t) == last.get(link_id, False)
+                for link_id in self._legacy_overlap()
+            ):
+                self._check_flap_edges(t)
+                return
+        if mutation_epoch() != self._applied_epoch:
+            # Links mutated outside this injector since the last apply
+            # (legacy schedule, test code, another injector): the
+            # recorded impairments may no longer match reality, so
+            # re-write all of them.
+            self._applied.clear()
+        legacy_down: dict[int, bool] = {}
         for link_id in self.managed_links():
             link = self.internet.links_by_id[link_id]
             effect = effects.get(link_id, NO_EFFECT)
             # Liveness is the union across *both* injectors: never flip
             # a link up while a legacy-schedule window still covers t.
-            want_down = effect.failed or self.internet.failures.down_at(link_id, t)
+            legacy = self.internet.failures.down_at(link_id, t)
+            legacy_down[link_id] = legacy
+            want_down = effect.failed or legacy
             if want_down and not link.failed:
                 link.fail()
             elif not want_down and link.failed:
                 link.restore()
-            link.impair(
-                extra_loss=effect.extra_loss,
-                extra_delay_ms=effect.extra_delay_ms,
-                util_surge=effect.util_surge,
-                bulk_extra_loss=effect.bulk_extra_loss,
+            impairment = (
+                effect.extra_loss,
+                effect.extra_delay_ms,
+                effect.util_surge,
+                effect.bulk_extra_loss,
             )
+            if self._applied.get(link_id) != impairment:
+                link.impair(
+                    extra_loss=effect.extra_loss,
+                    extra_delay_ms=effect.extra_delay_ms,
+                    util_surge=effect.util_surge,
+                    bulk_extra_loss=effect.bulk_extra_loss,
+                )
+                self._applied[link_id] = impairment
+        self._applied_epoch = mutation_epoch()
+        self._last_effects = effects
+        self._last_legacy_down = legacy_down
         self._check_flap_edges(t)
 
     def _check_flap_edges(self, t: float) -> None:

@@ -171,8 +171,12 @@ def _reconvergence_note(
     links = [internet.links_by_id[link_id] for link_id in outage.link_ids]
     pre_failed = {link.link_id for link in links if link.failed}
     try:
+        # Through the mutators (not raw ``link.failed`` writes), so the
+        # global mutation epoch moves and every epoch-keyed cache — the
+        # fastpath mirror, memoized live paths, dark-router sets — sees
+        # the temporary outage instead of serving pre-outage state.
         for link in links:
-            link.failed = True
+            link.fail()
         delta = reconvergence_delta_ms(
             internet, affected.src_name, affected.dst_name
         )
@@ -180,7 +184,10 @@ def _reconvergence_note(
         return "no reroute survives the outage"
     finally:
         for link in links:
-            link.failed = link.link_id in pre_failed
+            if link.link_id in pre_failed:
+                link.fail()
+            else:
+                link.restore()
     if delta is None:  # pragma: no cover - the leg crosses the PoP
         return "preferred leg unaffected"
     return f"re-convergence detour {delta:+.1f} ms RTT"

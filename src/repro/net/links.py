@@ -41,6 +41,27 @@ class LinkClass(enum.Enum):
     HOST_ACCESS = "host_access"  # last-mile host <-> router link
 
 
+#: Global link-mutation epoch.  Bumped by every state mutation on any
+#: link (``fail``/``restore``/``impair``/``clear_impairment``) so that
+#: derived caches — the fastpath struct-of-arrays mirror, BGP
+#: decision-adjacent memos, reroute reachability sets — can detect
+#: staleness with one integer compare instead of re-walking link
+#: objects.  The counter is process-global rather than per-world:
+#: sharing it across worlds only causes spurious (safe) invalidation,
+#: never a stale read.
+_EPOCH = 0
+
+
+def mutation_epoch() -> int:
+    """Current global link-mutation epoch (see :data:`_EPOCH`)."""
+    return _EPOCH
+
+
+def _bump_epoch() -> None:
+    global _EPOCH
+    _EPOCH += 1
+
+
 #: Utilization above which congestion loss sets in.
 LOSS_KNEE = 0.82
 #: Utilization above which queues start to build.
@@ -180,10 +201,12 @@ class Link:
     def fail(self) -> None:
         """Take the link down (used by failure-injection experiments)."""
         self.failed = True
+        _bump_epoch()
 
     def restore(self) -> None:
         """Bring a failed link back up."""
         self.failed = False
+        _bump_epoch()
 
     @property
     def impaired(self) -> bool:
@@ -211,6 +234,7 @@ class Link:
         self.extra_delay_ms = extra_delay_ms
         self.util_surge = util_surge
         self.bulk_extra_loss = bulk_extra_loss
+        _bump_epoch()
 
     def clear_impairment(self) -> None:
         """Remove any gray-failure/storm impairment."""
@@ -218,3 +242,4 @@ class Link:
         self.extra_delay_ms = 0.0
         self.util_surge = 0.0
         self.bulk_extra_loss = 0.0
+        _bump_epoch()

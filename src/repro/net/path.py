@@ -56,6 +56,13 @@ class RouterPath:
     ``len(links)`` may exceed ``len(router_ids) - 1`` by up to 2
     because host-access links at the two ends have a host, not a
     router, on one side.
+
+    Paths resolved by a fastpath-enabled world carry a ``_fastpath``
+    handle (attached via ``object.__setattr__`` — the dataclass is
+    frozen but not slotted) through which ``is_alive``/``metrics``
+    read the vectorized struct-of-arrays mirror instead of walking
+    links; results are bit-identical (see :mod:`repro.net.fastpath`).
+    Hand-built paths have no handle and always take the object walk.
     """
 
     src_name: str
@@ -74,10 +81,18 @@ class RouterPath:
 
     def is_alive(self) -> bool:
         """False if any constituent link has failed."""
+        fastpath = self.__dict__.get("_fastpath")
+        if fastpath is not None:
+            return fastpath.path_alive(self)
         return not any(link.failed for link in self.links)
 
     def metrics(self, t: float) -> PathMetrics:
         """Aggregate path metrics at absolute time ``t`` (seconds)."""
+        fastpath = self.__dict__.get("_fastpath")
+        if fastpath is not None:
+            vectorized = fastpath.path_metrics(self, t)
+            if vectorized is not None:
+                return vectorized
         one_way = 0.0
         survive = 1.0
         survive_bulk = 1.0
@@ -120,9 +135,13 @@ class RouterPath:
             if routers and rid == routers[-1]:
                 continue
             routers.append(rid)
-        return RouterPath(
+        joined = RouterPath(
             src_name=self.src_name,
             dst_name=other.dst_name,
             router_ids=tuple(routers),
             links=tuple(self.links) + tuple(other.links),
         )
+        fastpath = self.__dict__.get("_fastpath") or other.__dict__.get("_fastpath")
+        if fastpath is not None:
+            object.__setattr__(joined, "_fastpath", fastpath)
+        return joined

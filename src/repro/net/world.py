@@ -26,11 +26,11 @@ from repro.net.asn import ASKind
 from repro.net.bgp import BgpRouting
 from repro.net.congestion import BackgroundLoad, peak_hour_for_longitude
 from repro.net.failures import FailureSchedule
-from repro.net.links import Link, LinkClass
+from repro.net.fastpath import FastPath, fastpath_enabled
+from repro.net.links import Link, LinkClass, mutation_epoch
 from repro.net.path import RouterPath
 from repro.net.reroute import (
     dark_routers,
-    has_live_internal_route,
     live_internal_route,
 )
 from repro.net.routers import RouterRegistry
@@ -40,6 +40,9 @@ from repro.units import check_positive
 
 #: Host node ids start here so they never collide with router ids.
 HOST_ID_BASE = 10_000_000
+
+#: Cache-miss sentinel (``None`` is a meaningful cached value).
+_MISSING = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +144,18 @@ class Internet:
         self.clock_hooks: list[Callable[[float], None]] = []
         self.addresses = AddressPlan()
         self._path_cache: dict[tuple[str, str], RouterPath] = {}
+        #: BGP decision keys are pure functions of topology + geography
+        #: (never of link state), so this memo lives forever.
+        self._decision_key_cache: dict[tuple, tuple] = {}
+        #: Link-state-dependent memos, valid only while the global link
+        #: mutation epoch (repro.net.links.mutation_epoch) is unchanged;
+        #: _sync_live_caches drops them the moment it moves.
+        self._live_cache_epoch = -1
+        self._dark_cache: frozenset[int] | None = None
+        self._live_route_cache: dict[tuple[int, int, int], object] = {}
+        self._live_path_cache: dict[tuple[str, str], object] = {}
+        #: Vectorized link-state mirror (None when REPRO_FASTPATH=0).
+        self.fastpath: FastPath | None = FastPath(self) if fastpath_enabled() else None
         self._build()
 
     # ------------------------------------------------------------------
@@ -462,9 +477,67 @@ class Internet:
         BGP withdraw/re-announce cycles (route flaps) change which
         forwarding path a fresh resolution returns; fault injectors call
         this at each flap edge so later ``resolve_path`` calls recompute
-        instead of serving a pre-flap route.
+        instead of serving a pre-flap route.  Link-state-dependent memos
+        (live paths, dark routers, live internal routes) drop with it —
+        they are normally epoch-invalidated, but an explicit invalidate
+        must never leave them behind.
         """
         self._path_cache.clear()
+        self._live_path_cache.clear()
+        self._live_route_cache.clear()
+        self._dark_cache = None
+
+    def _sync_live_caches(self) -> None:
+        """Drop link-state-dependent memos if any link mutated.
+
+        Keyed on the global mutation epoch rather than on callers
+        remembering to invalidate: ``FaultInjector`` effect application
+        mutates links *without* calling ``invalidate_path_cache`` (only
+        flap edges do), and test code flips links directly — the epoch
+        bump inside ``Link.fail``/``restore``/``impair`` catches every
+        such write.
+        """
+        epoch = mutation_epoch()
+        if epoch != self._live_cache_epoch:
+            self._live_cache_epoch = epoch
+            self._dark_cache = None
+            self._live_route_cache.clear()
+            self._live_path_cache.clear()
+
+    def _dark_routers(self) -> frozenset[int]:
+        """Epoch-cached :func:`repro.net.reroute.dark_routers`."""
+        self._sync_live_caches()
+        if self._dark_cache is None:
+            self._dark_cache = dark_routers(self)
+        return self._dark_cache
+
+    def _live_internal(
+        self, asn: int, src_id: int, dst_id: int
+    ) -> tuple[tuple[int, ...], tuple[Link, ...]]:
+        """Epoch-cached :func:`repro.net.reroute.live_internal_route`."""
+        self._sync_live_caches()
+        key = (asn, src_id, dst_id)
+        cached = self._live_route_cache.get(key, _MISSING)
+        if cached is _MISSING:
+            try:
+                cached = live_internal_route(self, asn, src_id, dst_id)
+            except RoutingError:
+                cached = None
+            self._live_route_cache[key] = cached
+        if cached is None:
+            raise RoutingError(
+                f"AS{asn} has no live internal route between routers "
+                f"{src_id} and {dst_id}"
+            )
+        return cached
+
+    def _has_live_internal(self, asn: int, src_id: int, dst_id: int) -> bool:
+        """Epoch-cached :func:`repro.net.reroute.has_live_internal_route`."""
+        try:
+            self._live_internal(asn, src_id, dst_id)
+        except RoutingError:
+            return False
+        return True
 
     def resolve_live_path(self, src_name: str, dst_name: str) -> RouterPath:
         """The best *currently working* path between two hosts.
@@ -473,8 +546,27 @@ class Internet:
         next-best candidate; this models the post-convergence state: if
         the preferred path is down, every exportable candidate route is
         tried in decision-process order until one expands to a path
-        with no failed link.
+        with no failed link.  Results (including the no-live-path
+        outcome) are memoized per link-mutation epoch — identical
+        failure state always converges identically.
         """
+        self._sync_live_caches()
+        cache_key = (src_name, dst_name)
+        cached = self._live_path_cache.get(cache_key)
+        if cached is not None:
+            if isinstance(cached, RoutingError):
+                raise cached
+            return cached
+        try:
+            resolved = self._resolve_live_path_cold(src_name, dst_name)
+        except RoutingError as exc:
+            self._live_path_cache[cache_key] = exc
+            raise
+        self._live_path_cache[cache_key] = resolved
+        return resolved
+
+    def _resolve_live_path_cold(self, src_name: str, dst_name: str) -> RouterPath:
+        """Uncached convergence walk behind :meth:`resolve_live_path`."""
         preferred = self.resolve_path(src_name, dst_name)
         if preferred.is_alive():
             return preferred
@@ -541,12 +633,15 @@ class Internet:
         links.append(dst.access_link)
         router_ids.append(dst.host_id)
 
-        return RouterPath(
+        path = RouterPath(
             src_name=src.name,
             dst_name=dst.name,
             router_ids=tuple(router_ids),
             links=tuple(links),
         )
+        if self.fastpath is not None:
+            object.__setattr__(path, "_fastpath", self.fastpath)
+        return path
 
     def _select_as_path(self, src: Host, dst: Host) -> tuple[int, ...]:
         """Per-PoP BGP selection at the source AS.
@@ -572,7 +667,21 @@ class Internet:
         (:meth:`_select_as_path`) and the post-failure fallback
         (:meth:`resolve_live_path`) rank candidates by, so convergence
         never disagrees with the preferred decision process.
+
+        The key depends only on topology and geography (never on link
+        state or the clock), so it is memoized forever: re-ranking the
+        candidate list after each failure episode no longer re-runs the
+        haversine scan.
         """
+        memo_key = (src.host_id, dst.asn, route.kind, route.length, route.path)
+        cached = self._decision_key_cache.get(memo_key)
+        if cached is None:
+            cached = self._decision_key_cold(src, dst, route)
+            self._decision_key_cache[memo_key] = cached
+        return cached
+
+    def _decision_key_cold(self, src: Host, dst: Host, route) -> tuple:
+        """Uncached decision-key derivation behind :meth:`_decision_key`."""
         if len(route.path) < 2:
             return (route.kind, route.length, 0, 0, -1)
         next_asn = route.path[1]
@@ -605,7 +714,7 @@ class Internet:
         """
         relation = self.topology.relation_between(here_asn, next_asn)
         current_city = self.routers.get(current_router).city
-        dark = dark_routers(self) if live else frozenset()
+        dark = self._dark_routers() if live else frozenset()
         best: tuple[float, int, int, Link] | None = None
         for city_a, city_b in relation.interconnect_cities:
             if relation.a == here_asn:
@@ -622,8 +731,8 @@ class Internet:
                     or ingress.router_id in dark
                 ):
                     continue
-                if egress.router_id != current_router and not has_live_internal_route(
-                    self, here_asn, current_router, egress.router_id
+                if egress.router_id != current_router and not self._has_live_internal(
+                    here_asn, current_router, egress.router_id
                 ):
                     continue
             distance = haversine_km(current_city.point, egress.city.point)
@@ -654,7 +763,7 @@ class Internet:
                 f"AS{asn} has no internal route between routers {router_a} and {router_b}"
             )
         if live and any(link.failed for link in route[1]):
-            return live_internal_route(self, asn, router_a, router_b)
+            return self._live_internal(asn, router_a, router_b)
         return route
 
     # ------------------------------------------------------------------

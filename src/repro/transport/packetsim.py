@@ -127,6 +127,38 @@ class _Event:
     hop: int = field(compare=False, default=0)
 
 
+class _BlockRandom:
+    """Block-buffered uniform draws over a ``numpy.Generator``.
+
+    The per-segment drop draw is one scalar ``rng.random()`` per hop
+    entry — millions of Generator round-trips per long transfer.
+    ``Generator.random(n)`` produces the *same* value stream as ``n``
+    scalar calls, so buffering a block and serving it sequentially is
+    bit-identical for every value actually consumed; it only advances
+    the underlying bit stream further ahead.  Callers construct one
+    fresh seeded generator per flow (nothing else draws from it), so
+    the read-ahead is unobservable.
+    """
+
+    __slots__ = ("_rng", "_buf", "_pos")
+
+    BLOCK = 256
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._buf = None
+        self._pos = 0
+
+    def random(self) -> float:
+        buf = self._buf
+        if buf is None or self._pos >= len(buf):
+            buf = self._buf = self._rng.random(self.BLOCK)
+            self._pos = 0
+        value = buf[self._pos]
+        self._pos += 1
+        return value
+
+
 class PacketLevelTcp:
     """One TCP flow over a chain of :class:`SimLink` hops."""
 
@@ -143,6 +175,7 @@ class PacketLevelTcp:
             raise TransportError(f"MSS must be positive, got {mss_bytes}")
         self.links = list(links)
         self.rng = rng
+        self._rand = _BlockRandom(rng)
         self.mss = mss_bytes
         self.rwnd_segments = max(rwnd_bytes // mss_bytes, 2)
 
@@ -377,7 +410,7 @@ class PacketLevelTcp:
         # they pay the bulk drop probability — on a gray hop that is
         # more than the ping-visible ``loss_prob``.
         drop = link.data_loss_prob
-        if drop > 0 and self.rng.random() < drop:
+        if drop > 0 and self._rand.random() < drop:
             return
         # Tail drop when the queue is full.
         backlog = max(self._link_free_at[hop] - self._now, 0.0)

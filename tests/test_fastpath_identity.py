@@ -1,0 +1,112 @@
+"""Property tests: the fastpath mirror is invisible in study output.
+
+For each study (chaos, demand, controlled) and several seeds, the
+dumped result JSON must be byte-identical between
+
+* object mode (``REPRO_FASTPATH=0`` — the scalar per-link walk),
+* fastpath at 1 worker, and
+* fastpath at 8 workers (exec backends fork, so workers inherit the
+  parent's mode choice).
+
+Serial entry points are compared against serial references and exec
+entry points against exec references — the controlled study's serial
+and exec ports draw retransmission noise from differently scoped
+streams, a (documented) difference orthogonal to the mirror.  Byte
+equality of the serialized artifact is deliberately the bar: it is
+what the exec cache keys on and what the paper-repro pipeline diffs
+between runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.runner import ExecConfig, ExecRunner
+from repro.experiments.chaos_exp import ChaosConfig, run_chaos, run_chaos_exec
+from repro.experiments.controlled import (
+    ControlledConfig,
+    run_controlled,
+    run_controlled_exec,
+)
+from repro.experiments.demand_exp import DemandConfig, run_demand, run_demand_exec
+from repro.io import dump_json
+
+SEEDS = (3, 11)
+
+
+def _dump(tmp_path, tag, result) -> bytes:
+    return dump_json(result, tmp_path / f"{tag}.json").read_bytes()
+
+
+def _runner(tmp_path, tag, workers) -> ExecRunner:
+    return ExecRunner(
+        ExecConfig(workers=workers, cache_dir=tmp_path / f"cache-{tag}")
+    )
+
+
+def _chaos_config(seed: int) -> ChaosConfig:
+    return ChaosConfig(
+        seed=seed,
+        scale="small",
+        scenarios=("as-outage",),
+        duration_s=600.0,
+        tick_s=10.0,
+        probe_interval_s=30.0,
+    )
+
+
+def _demand_config(seed: int) -> DemandConfig:
+    return DemandConfig(
+        seed=seed,
+        levels=(1.0, 8.0),
+        epochs=2,
+        policies=("best-path", "anycast"),
+        rounds=3,
+    )
+
+
+def _controlled_config(seed: int) -> ControlledConfig:
+    return ControlledConfig(seed=seed, scale="small", n_clients=2)
+
+
+STUDIES = {
+    "chaos": (_chaos_config, run_chaos, run_chaos_exec),
+    "demand": (_demand_config, run_demand, run_demand_exec),
+    "controlled": (_controlled_config, run_controlled, run_controlled_exec),
+}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("study", sorted(STUDIES))
+def test_fastpath_output_byte_identical_to_object_mode(
+    study, seed, tmp_path, monkeypatch
+):
+    make_config, run_serial, run_exec = STUDIES[study]
+
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    ref_serial = _dump(tmp_path, f"{study}-obj-serial", run_serial(make_config(seed)))
+    ref_exec = _dump(
+        tmp_path,
+        f"{study}-obj-exec",
+        run_exec(make_config(seed), _runner(tmp_path, f"{study}-obj", 1)),
+    )
+
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    fast_serial = _dump(
+        tmp_path, f"{study}-fast-serial", run_serial(make_config(seed))
+    )
+    assert fast_serial == ref_serial, (
+        f"{study} seed {seed}: serial fastpath output differs from object mode"
+    )
+    for workers in (1, 8):
+        fast = _dump(
+            tmp_path,
+            f"{study}-fast-w{workers}",
+            run_exec(
+                make_config(seed), _runner(tmp_path, f"{study}-{workers}", workers)
+            ),
+        )
+        assert fast == ref_exec, (
+            f"{study} seed {seed}: fastpath output at {workers} workers "
+            "differs from object mode"
+        )

@@ -1,0 +1,158 @@
+"""Unit tests of the struct-of-arrays link-state mirror.
+
+Identity assertions use ``==`` on raw floats on purpose: the
+fastpath's contract with the scalar walk is *bit* equality, not
+approximate equality — a one-ulp drift would break the study-level
+byte-identity guarantee downstream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.controller import OverlayController
+from repro.control.health import HealthConfig
+from repro.control.metrics import MetricsRegistry
+from repro.control.policy import BestPathPolicy
+from repro.core.pathset import PathSet
+from repro.net.asn import ASKind
+from repro.net.path import RouterPath
+from repro.tunnel.node import OverlayNode
+
+TIMES = (0.0, 1_800.0, 43_200.0, 90_000.0)
+
+
+@pytest.fixture()
+def fastpath(small_internet):
+    mirror = small_internet.fastpath
+    assert mirror is not None, "fixture worlds must build with the mirror"
+    return mirror
+
+
+def _assert_lists_match_links(fastpath, t: float) -> None:
+    one_way, loss, bulk, avail = fastpath.metric_lists(t, fastpath.state_key())
+    for i, link in enumerate(fastpath._links):
+        assert one_way[i] == link.one_way_delay_ms(t)
+        assert loss[i] == link.loss(t)
+        assert bulk[i] == link.bulk_loss(t)
+        assert avail[i] == link.available_bw_mbps(t)
+
+
+class TestMetricIdentity:
+    def test_metric_lists_match_scalar_links_over_time(self, fastpath):
+        for t in TIMES:
+            _assert_lists_match_links(fastpath, t)
+
+    def test_identity_holds_under_failures_and_impairments(
+        self, small_internet, fastpath
+    ):
+        links = sorted(small_internet.links_by_id.values(), key=lambda l: l.link_id)
+        links[0].fail()
+        links[1].impair(
+            extra_loss=0.2, extra_delay_ms=40.0, util_surge=0.3, bulk_extra_loss=0.5
+        )
+        links[2].impair(util_surge=0.9)
+        for t in TIMES:
+            _assert_lists_match_links(fastpath, t)
+
+    def test_path_metrics_match_object_walk(self, small_internet):
+        path = small_internet.resolve_live_path("server", "client")
+        bare = RouterPath(  # no mirror handle: always walks link objects
+            src_name=path.src_name,
+            dst_name=path.dst_name,
+            router_ids=path.router_ids,
+            links=path.links,
+        )
+        for t in TIMES:
+            assert path.metrics(t) == bare.metrics(t)
+            assert path.is_alive() == bare.is_alive()
+
+
+class TestInvalidation:
+    """Direct link mutations (no invalidate_path_cache call) must be
+    visible on the very next query — the epoch compare is the contract."""
+
+    def test_direct_fail_restore_tracked(self, small_internet):
+        path = small_internet.resolve_live_path("server", "client")
+        t = 1_200.0
+        before = path.metrics(t)
+        assert path.is_alive()
+        link = path.links[0]
+        link.fail()
+        assert not path.is_alive()
+        assert path.metrics(t).loss == 1.0
+        link.restore()
+        assert path.is_alive()
+        assert path.metrics(t) == before
+
+    def test_direct_impairment_tracked(self, small_internet):
+        path = small_internet.resolve_live_path("server", "client")
+        t = 1_200.0
+        before = path.metrics(t)
+        link = path.links[0]
+        link.impair(extra_delay_ms=25.0)
+        assert path.metrics(t).rtt_ms == before.rtt_ms + 50.0
+        link.clear_impairment()
+        assert path.metrics(t) == before
+
+
+class TestStateInterning:
+    def test_rewound_state_reuses_its_id(self, small_internet, fastpath):
+        clean = fastpath.state_key()
+        link = sorted(small_internet.links_by_id.values(), key=lambda l: l.link_id)[0]
+        link.fail()
+        failed = fastpath.state_key()
+        assert failed != clean
+        link.restore()
+        assert fastpath.state_key() == clean
+        link.fail()
+        assert fastpath.state_key() == failed
+
+    def test_rows_stable_across_host_attach(self, small_internet, fastpath):
+        fastpath.sync()
+        rows_before = dict(fastpath._row)
+        stub = small_internet.topology.ases_of_kind(ASKind.STUB)[1]
+        small_internet.attach_host("late-probe", stub.asn, kind="planetlab")
+        fastpath.sync()
+        for link_id, row in rows_before.items():
+            assert fastpath._row[link_id] == row
+
+
+class TestDecisionMemoInvalidation:
+    """Regression: injector-style mutations bypass invalidate_path_cache
+    entirely, yet the controller's memoized label rates must not serve
+    a stale decision across the flip."""
+
+    def _controller(self, small_internet):
+        node = OverlayNode(host=small_internet.host("vm"))
+        pathset = PathSet.build(small_internet, "server", "client", [node])
+        return OverlayController(
+            internet=small_internet,
+            pathset=pathset,
+            policy=BestPathPolicy(),
+            scheduler=None,
+            health_config=HealthConfig(),
+            metrics=MetricsRegistry(),
+            tick_s=5.0,
+        )
+
+    def test_link_flip_mid_episode_invalidates_rate_memo(self, small_internet):
+        controller = self._controller(small_internet)
+        now = 600.0
+        warm = controller._label_rate("direct", now)
+        assert warm > 0.0
+        assert controller._label_rate("direct", now) == warm  # memo hit
+        overlay_ids = {
+            link.link_id
+            for option in controller.pathset.options
+            for link in option.concatenated.links
+        }
+        link = next(
+            link
+            for link in controller.pathset.direct.links
+            if link.link_id not in overlay_ids
+        )
+        link.fail()  # no invalidate_path_cache, exactly like a fault event
+        assert controller._label_rate("direct", now) == 0.0
+        link.restore()
+        assert controller._label_rate("direct", now) == warm
