@@ -282,7 +282,60 @@ def _bench_net(quick: bool = False) -> dict:
     }
 
 
-AREAS = {"demand": _bench_demand, "exec": _bench_exec, "net": _bench_net}
+def _bench_colo() -> dict:
+    """The colo footprint study's headline numbers (DESIGN.md §16).
+
+    Times the pure per-(pair, site) measurement matrix — the part the
+    study shards — then the full mixed-footprint pipeline wall-clock
+    (serial, and sharded at 1 and 8 workers with fresh caches).
+    """
+    from repro.exec.runner import ExecConfig, ExecRunner
+    from repro.experiments.colo_exp import (
+        ColoConfig,
+        _measure_pair,
+        _study_inputs,
+        run_colo_exec,
+    )
+
+    config = ColoConfig(seed=7, scale="small")
+    _world, sites, _cronet, endpoints, pathsets = _study_inputs(config)
+
+    # Measurement rows per second: each row prices direct + every
+    # site's split/overlay/diversity columns for one pair.
+    rounds = 3
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for pathset in pathsets:
+            _measure_pair(pathset, config.at_time)
+    elapsed = time.perf_counter() - start
+    rows = rounds * len(pathsets)
+
+    walls = {}
+    for workers in (1, 8):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = ExecRunner(ExecConfig(workers=workers, cache_dir=cache_dir))
+            begin = time.perf_counter()
+            run_colo_exec(config, runner)
+            walls[workers] = round(time.perf_counter() - begin, 3)
+
+    return {
+        "pair_rows_per_sec": round(rows / elapsed),
+        "pairs": len(endpoints),
+        "sites": len(sites),
+        "pipeline": {
+            "footprints": len(config.footprints),
+            "wall_s_workers_1": walls[1],
+            "wall_s_workers_8": walls[8],
+        },
+    }
+
+
+AREAS = {
+    "demand": _bench_demand,
+    "exec": _bench_exec,
+    "net": _bench_net,
+    "colo": _bench_colo,
+}
 
 
 def main(argv: list[str] | None = None) -> int:

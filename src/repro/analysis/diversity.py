@@ -27,10 +27,17 @@ def diversity_score(direct: RouterPath, overlay: RouterPath) -> float:
 
     Endpoints (hosts) are not routers and are excluded on both sides —
     they are trivially common to every overlay alternative.
+
+    A direct path with *zero* routers (two hosts on the same
+    attachment, e.g. a relay and a client behind one access router) is
+    defined to score 1.0: there is nothing for the overlay to reuse, so
+    the alternative is trivially fully diverse.  This case used to fall
+    into a division by ``len(direct_routers)`` guarded by a raise;
+    callers aggregating over many pairs want a defined value instead.
     """
     direct_routers = _routers_only(direct)
     if not direct_routers:
-        raise AnalysisError("direct path has no routers")
+        return 1.0
     common = direct_routers & _routers_only(overlay)
     return 1.0 - len(common) / len(direct_routers)
 

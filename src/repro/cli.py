@@ -164,6 +164,37 @@ def _build_parser() -> argparse.ArgumentParser:
     demand.add_argument("--out", help="also dump the result as JSON to this path")
     _add_exec(demand)
 
+    colo = sub.add_parser(
+        "colo", help="compare cloud-VM, colo, and mixed relay footprints"
+    )
+    _add_common(colo)
+    colo.add_argument(
+        "--colo-city", action="append", default=None, metavar="CITY",
+        help=(
+            "IXP hub city to place a colocation facility in (repeatable; "
+            "omitted = new_york, london, tokyo)"
+        ),
+    )
+    colo.add_argument(
+        "--footprint", action="append", default=None,
+        choices=["cloud", "colo", "mixed"],
+        help="footprint to report (repeatable; omitted = all three)",
+    )
+    colo.add_argument(
+        "--load-level", type=float, default=10.0, metavar="X",
+        help="offered-load multiplier for the demand column (default: 10)",
+    )
+    colo.add_argument(
+        "--epochs", type=int, default=6,
+        help="epochs averaged into the demand column (default: 6)",
+    )
+    colo.add_argument(
+        "--fast", action="store_true",
+        help="smoke sizing: 6 clients, 2 servers, 2 demand epochs",
+    )
+    colo.add_argument("--out", help="also dump the result as JSON to this path")
+    _add_exec(colo)
+
     report = sub.add_parser("report", help="regenerate the whole paper as Markdown")
     _add_common(report)
     report.add_argument("--out", default="report.md", help="output path (.md)")
@@ -378,6 +409,39 @@ def _cmd_demand(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_colo(args: argparse.Namespace) -> int:
+    from repro.colo.facility import DEFAULT_COLO_CITIES
+    from repro.experiments.colo_exp import (
+        FOOTPRINTS,
+        ColoConfig,
+        run_colo,
+        run_colo_exec,
+    )
+
+    kwargs: dict = {
+        "seed": args.seed,
+        "scale": args.scale,
+        "colo_cities": tuple(args.colo_city) if args.colo_city else DEFAULT_COLO_CITIES,
+        "footprints": tuple(args.footprint) if args.footprint else FOOTPRINTS,
+        "demand_level": args.load_level,
+        "demand_epochs": args.epochs,
+    }
+    if args.fast:
+        kwargs.update(n_clients=6, n_servers=2, demand_epochs=2)
+    config = ColoConfig(**kwargs)
+    runner = _make_runner(args)
+    # The exec path keeps stdout byte-identical to the serial loop:
+    # CI diffs --workers 1 vs --workers 2 output for exactly that.
+    result = run_colo(config) if runner is None else run_colo_exec(config, runner)
+    print(result.render())
+    if args.out:
+        from repro.io import dump_json
+
+        target = dump_json(result, args.out)
+        print(f"[written {target}]")
+    return 0
+
+
 def _run_one(name: str, args: argparse.Namespace, runner=None):
     """Run one experiment; returns the result object.
 
@@ -543,6 +607,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_chaos(args)
         if args.command == "demand":
             return _cmd_demand(args)
+        if args.command == "colo":
+            return _cmd_colo(args)
         if args.command == "exec":
             return _cmd_exec(args)
         if args.command == "report":

@@ -1,9 +1,12 @@
-"""CRONet: a user-built overlay on rented cloud nodes.
+"""CRONet: a user-built overlay on rented relay sites.
 
 The deployment story of Sec. I: a user (startup, branch office, remote
-worker) rents VMs at a few of the provider's data centers, runs the
-relay software on them, and immediately has N+1 candidate paths to any
-destination — no ISP support required.
+worker) rents relays at a few locations, runs the relay software on
+them, and immediately has N+1 candidate paths to any destination — no
+ISP support required.  The paper rents cloud VMs; `repro.colo` adds
+colocation facilities as a second substrate, and a CRONet can mix the
+two freely: every relay is a :class:`~repro.colo.site.RelaySite`, and
+nothing downstream of construction knows which substrate it rides.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.cloud.datacenter import PortSpeed
 from repro.cloud.provider import CloudProvider
+from repro.colo.site import RelaySite
 from repro.core.pathset import PathSet
 from repro.errors import ConfigError
 from repro.net.world import Internet
@@ -20,11 +24,17 @@ from repro.tunnel.node import NodeMode, OverlayNode
 
 @dataclass
 class CRONet:
-    """An overlay network built from cloud VMs."""
+    """An overlay network built from rented relay sites."""
 
     internet: Internet
-    provider: CloudProvider
+    #: The cloud provider, when the overlay was built via :meth:`build`
+    #: (kept for the legacy cloud-only billing path); ``None`` for
+    #: substrate-generic overlays built via :meth:`from_sites`.
+    provider: CloudProvider | None = None
     nodes: list[OverlayNode] = field(default_factory=list)
+    #: Substrate-generic site records, parallel to ``nodes`` (same
+    #: order, same names).  May be empty for legacy construction.
+    sites: list[RelaySite] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._by_name: dict[str, OverlayNode] = {}
@@ -60,6 +70,27 @@ class CRONet:
         for dc_name in dc_names:
             server = provider.rent_vm(internet, dc_name, port_speed=port_speed)
             overlay.add_node(OverlayNode(host=server.host, mode=mode))
+            overlay.sites.append(RelaySite.from_vm(server))
+        return overlay
+
+    @classmethod
+    def from_sites(
+        cls,
+        internet: Internet,
+        sites: list[RelaySite],
+        mode: NodeMode = NodeMode.FORWARD,
+    ) -> "CRONet":
+        """Build an overlay from already-rented relay sites.
+
+        The substrate-generic constructor: sites may be cloud VMs, colo
+        servers, or any mix — the overlay neither knows nor cares.
+        """
+        if not sites:
+            raise ConfigError("a CRONet needs at least one overlay node")
+        overlay = cls(internet=internet)
+        for site in sites:
+            overlay.add_node(OverlayNode(host=site.host, mode=mode))
+            overlay.sites.append(site)
         return overlay
 
     @property
@@ -79,12 +110,28 @@ class CRONet:
     def subset(self, names: list[str]) -> "CRONet":
         """A view restricted to some nodes (placement experiments)."""
         picked = [self.node(name) for name in names]
-        return CRONet(internet=self.internet, provider=self.provider, nodes=picked)
+        wanted = set(names)
+        picked_sites = [site for site in self.sites if site.name in wanted]
+        return CRONet(
+            internet=self.internet,
+            provider=self.provider,
+            nodes=picked,
+            sites=picked_sites,
+        )
 
     def path_set(self, src_name: str, dst_name: str) -> PathSet:
         """Direct + per-node overlay paths for a sender/receiver pair."""
         return PathSet.build(self.internet, src_name, dst_name, self.nodes)
 
     def monthly_cost_usd(self) -> float:
-        """What this overlay costs per month (the provider's bill)."""
+        """What this overlay costs per month.
+
+        Substrate-generic when site records exist (the sum of per-site
+        costs, cloud or colo alike); falls back to the cloud provider's
+        whole bill for legacy overlays built without them.
+        """
+        if self.sites:
+            return sum(site.monthly_cost_usd for site in self.sites)
+        if self.provider is None:
+            raise ConfigError("overlay has neither site records nor a provider to bill")
         return self.provider.monthly_bill_usd()

@@ -68,6 +68,24 @@ class RelayCapacity:
             per_flow_pps=per_flow_pps,
         )
 
+    @classmethod
+    def from_site(
+        cls, site, per_flow_pps: float = DEFAULT_PER_FLOW_PPS
+    ) -> "RelayCapacity":
+        """Capacity model for any relay site, substrate-blind.
+
+        ``site`` is a :class:`repro.colo.site.RelaySite` (annotated
+        loosely to keep this module import-light): the site's own
+        ``cpu_pps`` carries the substrate difference — bare-metal colo
+        servers bring several times the pps budget of a single-core VM.
+        """
+        return cls(
+            label=site.name,
+            nic_mbps=site.rate_limit_mbps,
+            cpu_pps=site.cpu_pps,
+            per_flow_pps=per_flow_pps,
+        )
+
     def cpu_mbps(self, concurrent_flows: float) -> float:
         """CPU-side forwarding ceiling with ``concurrent_flows`` active.
 

@@ -33,6 +33,10 @@ class CloudError(ReproError):
     """Cloud-provider operations failed (unknown DC, no capacity...)."""
 
 
+class ColoError(ReproError):
+    """Colocation-facility operations failed (unknown facility, bad port...)."""
+
+
 class BillingError(CloudError):
     """Pricing/billing inputs were invalid (negative volume, unknown tier)."""
 

@@ -168,7 +168,25 @@ def build_pair_routes(world: World, cronet: CRONet, at_time: float) -> list[Pair
 
 
 def _build_relays(cronet: CRONet) -> list[RelayCapacity]:
-    """Capacity models for the overlay's rented VMs, by node name."""
+    """Capacity models for the overlay's relays, by node name.
+
+    Substrate-generic: overlays carrying :class:`~repro.colo.site.RelaySite`
+    records (any CRONet built through the current constructors) are
+    resolved through them — a mixed cloud/colo footprint just works,
+    with each site's own pps budget.  Legacy site-less overlays fall
+    back to the provider's rented-VM list.
+    """
+    if cronet.sites:
+        by_name = {site.name: site for site in cronet.sites}
+        relays = []
+        for name in cronet.node_names:
+            site = by_name.get(name)
+            if site is None:
+                raise ExperimentError(f"overlay node {name!r} has no relay site")
+            relays.append(RelayCapacity.from_site(site))
+        return relays
+    if cronet.provider is None:
+        raise ExperimentError("overlay has neither site records nor a provider")
     by_name = {vm.name: vm for vm in cronet.provider.servers}
     relays = []
     for name in cronet.node_names:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.cloud.datacenter import PAPER_DC_CITIES
 from repro.cloud.provider import CloudProvider
+from repro.colo.operator import ColoOperator
 from repro.core.cronet import CRONet
 from repro.errors import ConfigError
 from repro.net.topology import TopologyConfig, generate_topology
@@ -88,6 +89,10 @@ class World:
     server_names: list[str]
     dc_cities: tuple[str, ...]
     extra_clouds: dict[str, CloudProvider] | None = None
+    #: The colo operator, when the world was built with facilities
+    #: (``colo_cities``); ``None`` otherwise — and the construction is
+    #: then bit-for-bit the historical cloud-only world.
+    colo: ColoOperator | None = None
 
     def cronet(self, dc_names: list[str] | None = None, mode: NodeMode = NodeMode.FORWARD) -> CRONet:
         """Build a CRONet on this world's provider.
@@ -111,8 +116,17 @@ def build_world(
     n_clients: int | None = None,
     n_servers: int | None = None,
     extra_providers: dict[str, tuple[str, ...]] | None = None,
+    colo_cities: tuple[str, ...] | None = None,
 ) -> World:
-    """Build a complete, deterministic experimental world."""
+    """Build a complete, deterministic experimental world.
+
+    ``colo_cities`` adds one colocation facility (and its AS) per named
+    IXP hub city.  Omitted or empty, no colo code path runs at all: the
+    world is byte-identical to one built before the substrate existed.
+    Facilities deploy *after* every other AS, drawing only from the
+    dedicated ``"colo"`` stream, so the cloud/mirror/client draws are
+    unchanged either way.
+    """
     preset_factory = SCALES.get(scale)
     if preset_factory is None:
         raise ConfigError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
@@ -158,6 +172,9 @@ def build_world(
         extra_clouds[provider_name] = CloudProvider.deploy(
             topology, provider_cities, streams, name=provider_name
         )
+    colo: ColoOperator | None = None
+    if colo_cities:
+        colo = ColoOperator.deploy(topology, tuple(colo_cities), streams)
     internet = Internet(topology, streams)
 
     server_names = []
@@ -186,4 +203,5 @@ def build_world(
         server_names=server_names,
         dc_cities=preset.dc_cities,
         extra_clouds=extra_clouds or None,
+        colo=colo,
     )

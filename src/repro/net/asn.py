@@ -3,8 +3,8 @@
 ASes come in the kinds the CRONets measurement touches: Tier-1
 backbones (the congested core), transit/regional providers, stub access
 networks, academic networks (where PlanetLab clients live), content
-networks (where the Eclipse mirror servers live) and the cloud
-provider's own AS.
+networks (where the Eclipse mirror servers live), the cloud provider's
+own AS and single-facility colocation ASes attached at IXP hub cities.
 """
 
 from __future__ import annotations
@@ -24,6 +24,9 @@ class ASKind(enum.Enum):
     ACADEMIC = "academic"
     CONTENT = "content"
     CLOUD = "cloud"
+    #: A colocation facility's AS: one PoP at an IXP hub city, no
+    #: private backbone — inter-facility traffic rides the public mesh.
+    COLO = "colo"
 
     @property
     def is_stub_like(self) -> bool:

@@ -36,6 +36,8 @@ class LinkClass(enum.Enum):
     ACCESS = "access"  # transit/T1 <-> stub customer link
     CLOUD_PEERING = "cloud_peering"  # cloud AS <-> ISP at an IXP
     CLOUD_TRANSIT = "cloud_transit"  # cloud AS <-> Tier-1 transit
+    COLO_PEERING = "colo_peering"  # colo facility <-> ISP over the IXP fabric
+    COLO_TRANSIT = "colo_transit"  # colo facility <-> its blended IP transit
     INTERNAL = "internal"  # intra-AS backbone link
     CLOUD_BACKBONE = "cloud_backbone"  # cloud private inter-DC backbone
     HOST_ACCESS = "host_access"  # last-mile host <-> router link

@@ -350,6 +350,53 @@ class Topology:
             self.add_relation(cloud.asn, peer, Relationship.PEER)
         return cloud
 
+    def add_colo_as(
+        self,
+        name: str,
+        city_name: str,
+        transit_asns: list[int],
+        peer_asns: list[int],
+    ) -> AutonomousSystem:
+        """Add one colocation facility's AS: a single PoP at an IXP hub.
+
+        Unlike :meth:`add_cloud_as` there is no private backbone —
+        the facility is one city, so traffic between two colo relays
+        crosses the public transit mesh.  ``transit_asns`` is the
+        facility's blended IP transit (it must include a path to the
+        Tier-1 core or :meth:`validate` will reject the topology);
+        ``peer_asns`` are settlement-free peers over the exchange
+        fabric, which therefore must have a PoP in the same city.
+        """
+        if city_name not in HUB_CITIES:
+            raise TopologyError(
+                f"colo facility {name!r} must sit at an IXP hub city, "
+                f"got {city_name!r}"
+            )
+        if not transit_asns:
+            raise TopologyError(f"colo facility {name!r} needs at least one transit feed")
+        for peer in peer_asns:
+            peer_as = self.ases.get(peer)
+            if peer_as is None:
+                raise TopologyError(f"colo peer AS{peer} does not exist")
+            if not peer_as.has_pop(city_name):
+                raise TopologyError(
+                    f"colo facility {name!r} cannot peer with AS{peer} "
+                    f"({peer_as.name}): no PoP in {city_name!r} to cross-connect"
+                )
+        colo = self.add_as(
+            AutonomousSystem(
+                asn=self.allocate_asn(), name=name, kind=ASKind.COLO, pop_cities=(city_name,)
+            )
+        )
+        transit_set = set(transit_asns)
+        for transit in dict.fromkeys(transit_asns):
+            self.add_relation(colo.asn, transit, Relationship.CUSTOMER)
+        for peer in dict.fromkeys(peer_asns):
+            if peer in transit_set:
+                continue  # already a provider; don't double-relate
+            self.add_relation(colo.asn, peer, Relationship.PEER, ((city_name, city_name),))
+        return colo
+
 
 # ----------------------------------------------------------------------
 # generator

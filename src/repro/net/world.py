@@ -87,6 +87,15 @@ DEFAULT_PROFILES: dict[LinkClass, LinkClassProfile] = {
     LinkClass.CLOUD_TRANSIT: LinkClassProfile(
         40_000, (0.30, 0.68), 0.5, 0.12, (-6.5, -4.2), 30.0, (1.0, 1.3)
     ),
+    # Colo facilities sit *on* the exchange: peering is a cross-connect
+    # into the IXP fabric — short, clean, generously provisioned — and
+    # transit is a blended in-building IP feed, cheap but commodity.
+    LinkClass.COLO_PEERING: LinkClassProfile(
+        100_000, (0.15, 0.55), 0.4, 0.10, (-7.0, -5.0), 20.0, (1.0, 1.1)
+    ),
+    LinkClass.COLO_TRANSIT: LinkClassProfile(
+        40_000, (0.30, 0.70), 0.8, 0.14, (-6.5, -4.5), 35.0, (1.0, 1.4)
+    ),
     LinkClass.INTERNAL: LinkClassProfile(
         100_000, (0.10, 0.45), 0.7, 0.10, (-6.5, -4.5), 25.0, (1.1, 2.8)
     ),
@@ -107,7 +116,7 @@ class Host:
     city_name: str
     nic_mbps: float
     rwnd_bytes: int
-    kind: str  # "planetlab" | "server" | "cloud_vm" | "generic"
+    kind: str  # "planetlab" | "server" | "cloud_vm" | "colo_relay" | "generic"
     access_link: Link
     attachment_router_id: int
     ip_address: str = "0.0.0.0"
@@ -320,6 +329,10 @@ class Internet:
         if ASKind.CLOUD in kinds:
             return LinkClass.CLOUD_TRANSIT if rel is Relationship.CUSTOMER else (
                 LinkClass.CLOUD_PEERING
+            )
+        if ASKind.COLO in kinds:
+            return LinkClass.COLO_TRANSIT if rel is Relationship.CUSTOMER else (
+                LinkClass.COLO_PEERING
             )
         if kinds == {ASKind.TIER1}:
             return LinkClass.T1_PEERING

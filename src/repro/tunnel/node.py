@@ -1,4 +1,9 @@
-"""The overlay node: a cloud VM acting as tunnel relay or split proxy."""
+"""The overlay node: a rented relay acting as tunnel relay or split proxy.
+
+Relays run on either substrate — a cloud VM (the paper's deployment)
+or a bare-metal server in a colocation facility (:mod:`repro.colo`).
+Everything above the host (tunnels, NAT, modes) is substrate-blind.
+"""
 
 from __future__ import annotations
 
@@ -17,6 +22,10 @@ class NodeMode(enum.Enum):
     FORWARD = "forward"  # decapsulate, NAT, forward (plain overlay)
     SPLIT = "split"  # terminate TCP, relay bytes (split-overlay)
 
+
+#: Host kinds that may run the relay software: rented cloud VMs and
+#: colo bare-metal servers.  Clients/servers never relay.
+RELAY_HOST_KINDS = ("cloud_vm", "colo_relay")
 
 #: Userspace forwarding adds a little latency per direction.
 FORWARD_DELAY_MS = 0.15
@@ -42,9 +51,10 @@ class OverlayNode:
     tunnels: dict[str, TunnelSpec] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.host.kind != "cloud_vm":
+        if self.host.kind not in RELAY_HOST_KINDS:
             raise TunnelError(
-                f"overlay nodes must run on cloud VMs, got host kind {self.host.kind!r}"
+                f"overlay nodes must run on a relay host {RELAY_HOST_KINDS}, "
+                f"got host kind {self.host.kind!r}"
             )
         # Bind the NAT to the VM's public address.
         if self.nat.nat_ip == "0.0.0.0":

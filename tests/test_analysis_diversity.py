@@ -56,6 +56,25 @@ class TestDiversityScore:
         overlay = make_path([3, 4])
         assert diversity_score(direct, overlay) == 1.0
 
+    def test_zero_router_direct_path_scores_one(self):
+        """Regression: a routerless direct path (hosts behind one
+        attachment) is defined as fully diverse, not a raise."""
+        direct = make_path([])
+        overlay = make_path([1, 2])
+        assert diversity_score(direct, overlay) == 1.0
+
+    def test_zero_router_both_paths(self):
+        assert diversity_score(make_path([]), make_path([])) == 1.0
+
+    def test_zero_router_segment_shares_unaffected(self):
+        """The companion statistic still reports (0, 0, 0): no routers
+        means no common routers to locate."""
+        assert segment_location_shares(make_path([]), make_path([1])) == (
+            0.0,
+            0.0,
+            0.0,
+        )
+
 
 class TestSegmentShares:
     def test_end_heavy_overlap(self):

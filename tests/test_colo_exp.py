@@ -1,0 +1,162 @@
+"""E19 — the colo footprint study: no-op guarantee, sharding parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exec.runner import ExecConfig, ExecRunner
+from repro.experiments.colo_exp import ColoConfig, run_colo, run_colo_exec
+from repro.experiments.scenario import build_world
+
+SEED = 7
+#: Tiny-but-complete sizing shared by the parity tests below.
+FAST = dict(seed=SEED, scale="small", n_clients=6, n_servers=2, demand_epochs=2)
+
+
+def _world_fingerprint(world) -> list[tuple]:
+    """Every link's static parameters, in id order."""
+    return [
+        (
+            link_id,
+            link.prop_delay_ms,
+            link.base_loss,
+            link.capacity_mbps,
+            link.link_class.value,
+        )
+        for link_id, link in sorted(world.internet.links_by_id.items())
+    ]
+
+
+class TestConfig:
+    def test_rejects_unknown_and_duplicate_footprints(self):
+        with pytest.raises(ExperimentError):
+            ColoConfig(footprints=("edge",))
+        with pytest.raises(ExperimentError):
+            ColoConfig(footprints=("cloud", "cloud"))
+        with pytest.raises(ExperimentError):
+            ColoConfig(footprints=())
+
+    def test_colo_footprints_need_facilities(self):
+        with pytest.raises(ExperimentError):
+            ColoConfig(colo_cities=(), footprints=("cloud", "colo"))
+        ColoConfig(colo_cities=(), footprints=("cloud",))  # legal
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ExperimentError):
+            ColoConfig(demand_level=0.0)
+        with pytest.raises(ExperimentError):
+            ColoConfig(demand_epochs=0)
+        with pytest.raises(ExperimentError):
+            ColoConfig(pairs_per_shard=0)
+
+
+class TestZeroColoIdentity:
+    """The substrate is a strict no-op when no facilities are asked for."""
+
+    @pytest.mark.parametrize("seed", [7, 11])
+    def test_world_build_unchanged_without_colo(self, seed):
+        baseline = build_world(seed=seed, scale="small")
+        with_empty = build_world(seed=seed, scale="small", colo_cities=None)
+        assert with_empty.colo is None
+        assert _world_fingerprint(baseline) == _world_fingerprint(with_empty)
+
+    def test_cloud_only_study_identical_with_and_without_colo_plumbed(self):
+        # The property the CI gate enforces: selecting only the cloud
+        # footprint with zero colo sites is byte-identical to a world
+        # where the colo code path never ran.
+        cloud_only = dict(FAST, colo_cities=(), footprints=("cloud",))
+        a = run_colo(ColoConfig(**cloud_only))
+        b = run_colo(ColoConfig(**cloud_only))
+        assert a.render() == b.render()
+        assert a.colo_sites == []
+
+    @pytest.mark.parametrize("seed", [7, 11])
+    def test_cloud_only_serial_matches_exec_across_seeds(self, seed, tmp_path):
+        config = ColoConfig(**dict(FAST, seed=seed, colo_cities=(), footprints=("cloud",)))
+        serial = run_colo(config).render()
+        for workers in (1, 2):
+            runner = ExecRunner(
+                ExecConfig(workers=workers, cache_dir=tmp_path / f"s{seed}w{workers}")
+            )
+            assert run_colo_exec(config, runner).render() == serial
+
+
+class TestShardingParity:
+    def test_mixed_serial_matches_exec_at_any_worker_count(self, tmp_path):
+        config = ColoConfig(**FAST, pairs_per_shard=4)
+        serial = run_colo(config).render()
+        for workers in (1, 2):
+            runner = ExecRunner(
+                ExecConfig(workers=workers, cache_dir=tmp_path / f"w{workers}")
+            )
+            assert run_colo_exec(config, runner).render() == serial
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_colo(ColoConfig(**FAST))
+
+    def test_all_three_footprints_reported(self, result):
+        assert [r.footprint for r in result.reports] == ["cloud", "colo", "mixed"]
+        assert len(result.cloud_sites) == 3
+        assert len(result.colo_sites) == 3
+
+    def test_colo_relays_survive_load_better(self, result):
+        # The bare-metal pps budget is 5x the VM's; under 10x regional
+        # load the colo-backed footprints keep a higher win rate.
+        assert result.report("mixed").demand["win_rate"] >= result.report(
+            "cloud"
+        ).demand["win_rate"]
+
+    def test_mixed_footprint_dominates_on_improvement(self, result):
+        # More relay choices can only help the best-split ratio.
+        mixed = result.report("mixed").improvement.median_factor_improved
+        assert mixed >= result.report("cloud").improvement.median_factor_improved
+        assert mixed >= result.report("colo").improvement.median_factor_improved
+
+    def test_cloud_footprint_is_cheapest(self, result):
+        assert result.report("cloud").monthly_usd < result.report("colo").monthly_usd
+        assert result.report("mixed").monthly_usd == pytest.approx(
+            result.report("cloud").monthly_usd + result.report("colo").monthly_usd
+        )
+
+    def test_render_carries_the_pipeline(self, result):
+        rendered = result.render()
+        assert "colo study: 12 pairs" in rendered
+        assert "C4.5" in rendered
+        assert "diversity: mean" in rendered
+        assert "vs leased lines" in rendered
+        assert "# series: mixed-split-ratio" in rendered
+
+    def test_unknown_footprint_lookup_raises(self, result):
+        with pytest.raises(ExperimentError):
+            result.report("edge")
+
+
+class TestCli:
+    def test_colo_verb_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(["colo", "--seed", str(SEED), "--fast", "--footprint", "cloud"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "colo study: 12 pairs" in out
+        assert "footprint cloud" in out
+
+    def test_colo_verb_exec_parity(self, capsys, tmp_path):
+        from repro.cli import main
+
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(
+                [
+                    "colo", "--seed", str(SEED), "--fast",
+                    "--workers", workers,
+                    "--cache-dir", str(tmp_path / f"w{workers}"),
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
