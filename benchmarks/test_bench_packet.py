@@ -1,0 +1,46 @@
+"""Packet-engine fastpath bench: the ISSUE-10 speedup gate.
+
+Not a paper figure — the performance contract behind the packet-level
+chaos replay: the batched engine (ring-buffer bookkeeping, burst hop
+traversal, widened draw plane, lazy RTO re-arm) must run the
+representative overlay transfer at least 5x faster than the scalar
+reference it is byte-identical to.  ``BENCH_packet.json`` records the
+same numbers as a trajectory snapshot; this test is the hard gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.transport.packetsim import PacketLevelTcp, SimLink
+
+#: Lossy ingress hop, then a clean 11-hop backbone chain — the shape
+#: the burst traversal is built for (and the shape of a CRONets
+#: intercontinental overlay path).
+LINKS = [SimLink(400.0, 8.0, loss_prob=1e-4)] + [SimLink(1_000.0, 3.0)] * 11
+
+
+def _segments_per_sec(fastpath: bool) -> float:
+    tcp = PacketLevelTcp(
+        LINKS, np.random.default_rng(7), rwnd_bytes=4_194_304, fastpath=fastpath
+    )
+    begin = time.perf_counter()
+    tcp.run(10.0)
+    elapsed = time.perf_counter() - begin
+    return (tcp.delivered_segments + tcp.retransmissions) / elapsed
+
+
+def test_packet_fastpath_speedup(benchmark):
+    _segments_per_sec(True)  # untimed warmup
+    fast = benchmark.pedantic(
+        lambda: _segments_per_sec(True), rounds=1, iterations=1
+    )
+    scalar = _segments_per_sec(False)
+    print()
+    print(
+        f"packet engine: fastpath {fast:,.0f} segs/s, "
+        f"scalar {scalar:,.0f} segs/s, speedup {fast / scalar:.1f}x"
+    )
+    assert fast >= 5.0 * scalar

@@ -330,11 +330,80 @@ def _bench_colo() -> dict:
     }
 
 
+def _bench_packet() -> dict:
+    """The packet engine's headline numbers (DESIGN.md §17).
+
+    Times the same long transfer twice — batched fastpath (the
+    default) and ``fastpath=False`` scalar reference — on a
+    representative overlay path: a lossy ingress hop followed by a
+    clean 11-hop backbone chain, the shape where burst traversal pays
+    most.  Then the packet-level chaos replay wall-clock (both default
+    scenarios at the smoke horizon).
+    """
+    import numpy as np
+
+    from repro.experiments.chaos_exp import PacketReplayConfig, run_chaos_packet
+    from repro.transport.packetsim import PacketLevelTcp, SimLink
+
+    links = [SimLink(400.0, 8.0, loss_prob=1e-4)] + [SimLink(1_000.0, 3.0)] * 11
+    # Long enough to reach congestion-avoidance steady state: the
+    # scalar engine's per-ACK timer pushes only dominate once the
+    # window (and the stale-event population) has grown.
+    duration_s = 10.0
+
+    def segments_per_sec(fastpath: bool) -> tuple[int, int]:
+        tcp = PacketLevelTcp(
+            links,
+            np.random.default_rng(7),
+            rwnd_bytes=4_194_304,
+            fastpath=fastpath,
+        )
+        begin = time.perf_counter()
+        tcp.run(duration_s)
+        elapsed = time.perf_counter() - begin
+        segments = tcp.delivered_segments + tcp.retransmissions
+        return round(segments / elapsed), segments
+
+    # Untimed warmup (imports, numpy first-touch), then measure.
+    segments_per_sec(True)
+    sps_fast, segments = segments_per_sec(True)
+    sps_scalar, _ = segments_per_sec(False)
+
+    replay = PacketReplayConfig(duration_s=900.0, flow_s=2.5)
+    begin = time.perf_counter()
+    replay_result = run_chaos_packet(replay)
+    replay_wall = round(time.perf_counter() - begin, 3)
+
+    return {
+        "segments_per_sec": sps_fast,
+        "segments_per_sec_scalar": sps_scalar,
+        "speedup_vs_scalar": round(sps_fast / sps_scalar, 2),
+        "flow": {"hops": len(links), "duration_s": duration_s, "segments": segments},
+        "chaos_replay": {
+            "scenarios": list(replay.scenario_names),
+            "duration_s": replay.duration_s,
+            "flow_s": replay.flow_s,
+            "samples": len(replay_result.samples),
+            "wall_s": replay_wall,
+        },
+    }
+
+
 AREAS = {
     "demand": _bench_demand,
     "exec": _bench_exec,
     "net": _bench_net,
     "colo": _bench_colo,
+    "packet": _bench_packet,
+}
+
+#: Per-area headline number the ``--check`` regression gate compares.
+CHECK_KEYS = {
+    "demand": "epochs_per_sec",
+    "exec": "paths_per_sec_expanded",
+    "net": "paths_per_sec_expanded",
+    "colo": "pair_rows_per_sec",
+    "packet": "segments_per_sec",
 }
 
 
@@ -355,7 +424,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check", default=None, metavar="SNAPSHOT",
         help="committed BENCH_<area>.json to regression-check against; "
-        "fails if fresh paths/sec drops below half the committed number",
+        "fails if the area's headline rate drops below half the committed "
+        "number (and, for packet, if the fastpath speedup falls below 5x)",
     )
     args = parser.parse_args(argv)
 
@@ -381,16 +451,23 @@ def main(argv: list[str] | None = None) -> int:
     print(json.dumps(numbers, indent=2, sort_keys=True))
 
     if args.check:
+        key = CHECK_KEYS[area]
         committed = json.loads(pathlib.Path(args.check).read_text())
-        recorded = committed["numbers"]["paths_per_sec_expanded"]
-        fresh = numbers["paths_per_sec_expanded"]
+        recorded = committed["numbers"][key]
+        fresh = numbers[key]
         if fresh * 2 < recorded:
             print(
-                f"[FAIL] paths/sec regressed >2x: fresh {fresh} vs "
+                f"[FAIL] {key} regressed >2x: fresh {fresh} vs "
                 f"committed {recorded}"
             )
             return 1
-        print(f"[check ok] paths/sec {fresh} within 2x of committed {recorded}")
+        print(f"[check ok] {key} {fresh} within 2x of committed {recorded}")
+        if area == "packet" and numbers["speedup_vs_scalar"] < 5.0:
+            print(
+                "[FAIL] packet fastpath speedup "
+                f"{numbers['speedup_vs_scalar']}x below the 5x gate"
+            )
+            return 1
     return 0
 
 

@@ -133,6 +133,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="adaptive cadence ceiling (default: probe interval)",
     )
     chaos.add_argument(
+        "--engine", choices=("model", "packet"), default="model",
+        help=(
+            "replay engine: 'model' runs the controller study on the analytic "
+            "engine; 'packet' samples each scenario's fault windows and pushes "
+            "real segments through the discrete-event engine (serial only)"
+        ),
+    )
+    chaos.add_argument(
         "--fast", action="store_true",
         help="short smoke horizon (same windows as fractions, fewer ticks)",
     )
@@ -353,6 +361,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration, tick, interval = 900.0, 5.0, 15.0
     else:
         duration, tick, interval = args.duration, args.tick, args.probe_interval
+    if args.engine == "packet":
+        from repro.errors import ExperimentError
+        from repro.experiments.chaos_exp import PacketReplayConfig, run_chaos_packet
+
+        if args.workers is not None or args.resume or args.backend != "local-fork":
+            raise ExperimentError(
+                "--engine packet replays serially; drop the exec flags"
+            )
+        packet_config = PacketReplayConfig(
+            seed=args.seed,
+            scale=args.scale,
+            scenarios=scenarios,
+            duration_s=duration,
+            # A quarter-length flow keeps the smoke replay quick while
+            # still running several hundred RTTs per sample.
+            flow_s=2.5 if args.fast else 10.0,
+        )
+        result = run_chaos_packet(packet_config)
+        print(result.render())
+        if args.out:
+            from repro.io import dump_json
+
+            target = dump_json(result, args.out)
+            print(f"[written {target}]")
+        return 0
     config = ChaosConfig(
         seed=args.seed,
         scale=args.scale,

@@ -526,3 +526,189 @@ def run_chaos_exec(config: ChaosConfig, runner: "ExecRunner") -> ChaosResult:
     runner.raise_on_errors()
     result.outcomes.extend(ChaosOutcome(**payload) for payload in payloads)
     return result
+
+
+# ----------------------------------------------------------------------
+# packet-level replay (``repro chaos --engine packet``)
+# ----------------------------------------------------------------------
+
+#: Scenarios the packet replay runs by default: the two stories whose
+#: verdicts hinge on per-packet dynamics — a probe blackout over a
+#: gray direct path, and bulk-only gray episodes that pings cannot see.
+PACKET_SCENARIOS: tuple[str, ...] = ("probe-blackout", "gray-detect")
+
+
+@dataclass(frozen=True, slots=True)
+class PacketReplayConfig:
+    """Knobs for the packet-level chaos replay."""
+
+    seed: int = 7
+    scale: str = "small"
+    #: Scenario names to replay (empty = :data:`PACKET_SCENARIOS`).
+    scenarios: tuple[str, ...] = ()
+    duration_s: float = 3_600.0
+    #: Simulated seconds of bulk transfer per sampled instant.
+    flow_s: float = 10.0
+    rwnd_bytes: int = 1_048_576
+    queue_packets: int = 128
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.flow_s <= 0:
+            raise ExperimentError("durations must be positive")
+        if self.queue_packets < 1:
+            raise ExperimentError("queue must hold >= 1 packet")
+        unknown = [name for name in self.scenarios if name not in SCENARIOS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown chaos scenarios {unknown}; choose from {sorted(SCENARIOS)}"
+            )
+
+    @property
+    def scenario_names(self) -> tuple[str, ...]:
+        """The scenarios this config actually replays."""
+        return self.scenarios if self.scenarios else PACKET_SCENARIOS
+
+
+@dataclass(frozen=True, slots=True)
+class PacketSample:
+    """One packet-level flow at one sampled instant on one path."""
+
+    scenario: str
+    at_s: float
+    path: str
+    alive: bool
+    model_mbps: float
+    packet_mbps: float
+    retx_rate: float
+    segments: int
+
+
+@dataclass
+class PacketReplayResult:
+    """Every sampled flow plus the fault stories that shaped them."""
+
+    config: PacketReplayConfig
+    pair: tuple[str, ...]
+    descriptions: dict[str, str] = field(default_factory=dict)
+    samples: list[PacketSample] = field(default_factory=list)
+
+    def render(self) -> str:
+        """One table per scenario: model vs packet engine, per instant."""
+        sections = [
+            f"packet-level chaos replay: {self.pair[0]} -> {self.pair[1]}, "
+            f"{self.config.duration_s:.0f} s horizon, "
+            f"{self.config.flow_s:g} s flows, seed {self.config.seed}"
+        ]
+        for scenario in self.config.scenario_names:
+            rows = []
+            for sample in self.samples:
+                if sample.scenario != scenario:
+                    continue
+                if sample.alive:
+                    rows.append(
+                        (
+                            f"{sample.at_s:.0f} s",
+                            sample.path,
+                            "up",
+                            f"{sample.model_mbps:.2f}",
+                            f"{sample.packet_mbps:.2f}",
+                            f"{100.0 * sample.retx_rate:.2f}%",
+                            f"{sample.segments}",
+                        )
+                    )
+                else:
+                    rows.append(
+                        (f"{sample.at_s:.0f} s", sample.path, "down", "-", "-", "-", "-")
+                    )
+            table = format_table(
+                ["t", "path", "state", "model Mbps", "packet Mbps", "retx", "segments"],
+                rows,
+            )
+            sections.append(f"--- {self.descriptions[scenario]}\n{table}")
+        return "\n\n".join(sections)
+
+
+def run_chaos_packet(
+    config: PacketReplayConfig = PacketReplayConfig(),
+) -> PacketReplayResult:
+    """Replay chaos scenarios through the packet-level engine.
+
+    For each scenario, the fault injector is installed and the story is
+    sampled at the instants :func:`~repro.faults.scenarios.
+    replay_instants` picks (quiet start, every window midpoint, every
+    recovery).  At each instant, every candidate path's link state is
+    snapshotted via :func:`~repro.transport.packetsim.sim_links_at` and
+    a short bulk flow is simulated segment by segment, next to the
+    model engine's prediction for the identical snapshot — the
+    gray-failure loss-compounding story, revalidated at packet level.
+
+    Deterministic for a fixed config, and byte-identical with
+    ``REPRO_PACKET_FASTPATH=0`` (CI diffs the two).
+    """
+    import numpy as np
+
+    from repro.faults.scenarios import replay_instants
+    from repro.transport.packetsim import PacketLevelTcp, sim_links_at, sim_path_metrics
+    from repro.transport.throughput import TcpParams, steady_state_throughput_mbps
+
+    world = build_world(seed=config.seed, scale=config.scale)
+    cronet = world.cronet()
+    pathset = _pick_pathset(world, cronet, config)
+    result = PacketReplayResult(
+        config=config, pair=(pathset.src_name, pathset.dst_name)
+    )
+    labelled: list[tuple[str, RouterPath]] = [("direct", pathset.direct)]
+    labelled += [(option.name, option.concatenated) for option in pathset.options]
+    params = TcpParams(rwnd_bytes=config.rwnd_bytes)
+    for scenario_index, name in enumerate(config.scenario_names):
+        scenario = build_scenario(name, world.internet, pathset, config.duration_s)
+        result.descriptions[name] = scenario.describe()
+        injector = FaultInjector(world.internet)
+        for event in scenario.events:
+            injector.add(event)
+        injector.install()
+        try:
+            for at_s in replay_instants(scenario, config.duration_s):
+                world.internet.set_time(at_s)
+                for path_index, (label, path) in enumerate(labelled):
+                    if not path.is_alive():
+                        result.samples.append(
+                            PacketSample(
+                                scenario=name,
+                                at_s=at_s,
+                                path=label,
+                                alive=False,
+                                model_mbps=0.0,
+                                packet_mbps=0.0,
+                                retx_rate=0.0,
+                                segments=0,
+                            )
+                        )
+                        continue
+                    links = sim_links_at(
+                        path.links, at_s, queue_packets=config.queue_packets
+                    )
+                    model = steady_state_throughput_mbps(
+                        sim_path_metrics(links), params
+                    )
+                    rng = np.random.default_rng(
+                        (config.seed, scenario_index, path_index, int(round(at_s)))
+                    )
+                    tcp = PacketLevelTcp(links, rng, rwnd_bytes=config.rwnd_bytes)
+                    stats = tcp.run(config.flow_s)
+                    result.samples.append(
+                        PacketSample(
+                            scenario=name,
+                            at_s=at_s,
+                            path=label,
+                            alive=True,
+                            model_mbps=model,
+                            packet_mbps=stats.throughput_mbps,
+                            retx_rate=stats.retransmission_rate,
+                            segments=tcp.delivered_segments + tcp.retransmissions,
+                        )
+                    )
+        finally:
+            injector.uninstall()
+            world.internet.set_time(0.0)
+    return result

@@ -495,3 +495,27 @@ def build_scenario(
             f"unknown chaos scenario {name!r}; choose from {sorted(SCENARIOS)}"
         )
     return builder(internet, pathset, horizon_s)
+
+
+def replay_instants(
+    scenario: ChaosScenario, horizon_s: float, margin_frac: float = 0.02
+) -> tuple[float, ...]:
+    """Sample times bracketing every data-plane fault window.
+
+    The packet-level chaos replay (``repro chaos --engine packet``)
+    cannot afford to simulate the whole horizon segment by segment, so
+    it samples the story instead: one quiet instant near the start,
+    the midpoint of every event window (mid-episode, with the
+    impairment fully applied), and a recovery instant shortly after
+    each window ends.  Times are rounded to the millisecond and
+    deduplicated so overlapping windows do not multiply samples.
+    """
+    margin = horizon_s * margin_frac
+    instants = {round(margin, 3)}
+    for event in scenario.events:
+        window = event.window
+        instants.add(round(window.start_s + window.duration_s / 2.0, 3))
+        after = round(window.end_s + margin, 3)
+        if after < horizon_s:
+            instants.add(after)
+    return tuple(sorted(instants))

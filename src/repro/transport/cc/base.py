@@ -78,6 +78,7 @@ class CoupledSubflowCC(CongestionControl):
         self.rounds = 0
 
     def on_round(self, lost: bool, rtt_s: float) -> None:
+        """Record one RTT of feedback and let the coupler grow the window."""
         if rtt_s <= 0:
             raise TransportError(f"RTT must be positive, got {rtt_s}")
         self.last_rtt_s = rtt_s

@@ -33,6 +33,7 @@ class CubicCC(CongestionControl):
         return (self.w_max * CUBIC_BETA / CUBIC_C) ** (1.0 / 3.0)
 
     def on_round(self, lost: bool, rtt_s: float) -> None:
+        """Advance the cubic window one RTT (or cut it on loss)."""
         if rtt_s <= 0:
             raise TransportError(f"RTT must be positive, got {rtt_s}")
         if lost:

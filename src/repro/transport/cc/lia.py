@@ -35,6 +35,7 @@ class LiaCoupler(MultipathCoupler):
         return total_cwnd * best / denom
 
     def increase_for(self, subflow: CoupledSubflowCC) -> float:
+        """Per-round window increase LIA grants this subflow (RFC 6356)."""
         total_cwnd = sum(sf.cwnd for sf in self.subflows)
         if total_cwnd <= 0:
             return 0.0

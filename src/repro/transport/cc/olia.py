@@ -50,6 +50,7 @@ class OliaCoupler(MultipathCoupler):
         return 0.0
 
     def increase_for(self, subflow: CoupledSubflowCC) -> float:
+        """Per-round window increase OLIA grants this subflow."""
         index = self.subflows.index(subflow)
         denom = sum(sf.cwnd / sf.last_rtt_s for sf in self.subflows) ** 2
         if denom <= 0:

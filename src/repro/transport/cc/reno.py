@@ -26,6 +26,7 @@ class RenoCC(CongestionControl):
         self.multiplicative_decrease = multiplicative_decrease
 
     def on_round(self, lost: bool, rtt_s: float) -> None:
+        """Apply one RTT of AIMD: halve on loss, otherwise grow."""
         if rtt_s <= 0:
             raise TransportError(f"RTT must be positive, got {rtt_s}")
         if lost:

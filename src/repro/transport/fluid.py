@@ -41,6 +41,7 @@ class _DirectedHop:
 
     @property
     def key(self) -> tuple[int, bool]:
+        """Hashable identity of this directed traversal."""
         return (self.link.link_id, self.forward)
 
 
@@ -63,6 +64,7 @@ class FluidFlow:
 
     @property
     def max_cwnd_segments(self) -> float:
+        """Receive-window cap on the congestion window, in segments."""
         return self.rwnd_bytes / self.mss_bytes
 
     def rate_mbps(self) -> float:

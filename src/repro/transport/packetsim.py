@@ -10,17 +10,43 @@ cumulative ACKs.
 It is far too slow for 6,600-path campaigns — that is the point of the
 model/fluid engines — but on a single path it confirms that their
 throughput predictions have the right Mathis-like dependence on RTT
-and loss (see ``tests/test_transport_packetsim.py``).
+and loss (see ``tests/test_transport_packetsim.py``), and the chaos
+replay (``repro chaos --engine packet``) re-validates the gray-failure
+loss-compounding story segment by segment.
+
+**The packet fastpath.**  The engine runs in one of two modes chosen
+at construction (``REPRO_PACKET_FASTPATH``, any value but ``"0"`` =
+on, mirroring ``REPRO_FASTPATH`` of :mod:`repro.net.fastpath`):
+
+* *scalar* — the reference implementation: one heap event per hop
+  entry, dict/set sender bookkeeping, block-buffered scalar RNG.
+* *fastpath* — the batched implementation, byte-identical by
+  construction: sequence-tagged numpy ring buffers sized to the
+  receive window replace every per-segment dict/set; loss-free hop
+  chains are burst-processed so a segment traverses the whole chain in
+  one pass instead of one heap round-trip per hop (drop draws only
+  happen at chain-entry hops, so the RNG consumption order is
+  unchanged); and the retransmission timer re-arms lazily — the one
+  outstanding ``rto_check`` event reschedules itself instead of every
+  ACK pushing a fresh event.
+
+Identity holds because the fastpath performs the *same* floating-point
+operations in the same order on the same values — it only changes
+where bookkeeping lives and how many no-op heap events exist.  The
+property tests in ``tests/test_transport_packetsim.py`` assert equal
+:class:`FlowStats` and packet traces across seeds and link shapes.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import TransportError
+from repro.net.path import PathMetrics
 from repro.transport.throughput import FlowStats
 from repro.units import DEFAULT_MSS
 
@@ -30,6 +56,20 @@ INITIAL_CWND = 10.0
 DUPACK_THRESHOLD = 3
 #: Minimum retransmission timeout (seconds).
 MIN_RTO_S = 0.2
+#: How many newly ACKed segments accumulate between bookkeeping prunes
+#: (scalar mode; the fastpath's ring buffers are bounded by size).
+PRUNE_INTERVAL = 4_096
+
+
+def packet_fastpath_enabled() -> bool:
+    """Whether new flows should use the batched engine.
+
+    Controlled by the ``REPRO_PACKET_FASTPATH`` environment variable;
+    any value other than ``"0"`` (including unset) enables it.  Read
+    at :class:`PacketLevelTcp` construction, so exec workers (which
+    inherit the environment) make the same choice as their parent.
+    """
+    return os.environ.get("REPRO_PACKET_FASTPATH", "1") != "0"
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +135,25 @@ class SimLink:
         """Per-packet time at the underlying line rate (shaped links)."""
         return packet_bytes * 8 / (self.line_rate_mbps * 1e6)
 
+    def drain_time_s(self, packet_bytes: int, token_ready: bool = False) -> float:
+        """Per-packet time at the rate that actually drains the transmitter.
+
+        While a shaped hop's token bucket has a token ready, its
+        transmitter serializes at the *line* rate — backlog seconds
+        over the line time is the true queue depth, and a burst larger
+        than the queue overflows it no matter how many tokens remain.
+        Once token-limited, departures space out at the shaped service
+        time, so occupancy is counted at that rate instead (a full
+        queue really holds ``queue_packets`` packets, not
+        ``queue_packets`` line-times' worth).  Unshaped hops always
+        drain at their service rate, which *is* their line rate.
+        """
+        return (
+            self.line_time_s(packet_bytes)
+            if self.is_shaped and token_ready
+            else self.service_time_s(packet_bytes)
+        )
+
 
 def sim_link_at(link, t: float, queue_packets: int = 128) -> SimLink:
     """Snapshot one world :class:`~repro.net.links.Link` at time ``t``.
@@ -102,20 +161,54 @@ def sim_link_at(link, t: float, queue_packets: int = 128) -> SimLink:
     Threads the link's time-varying state into the packet engine:
     ping-visible ``loss(t)`` becomes ``loss_prob``, the bulk-only
     ``bulk_loss(t)`` becomes the per-segment drop draw, and queuing and
-    impairment delay fold into the hop's propagation delay.
+    impairment delay fold into the hop's propagation delay.  With a
+    :class:`~repro.faults.injector.FaultInjector` installed, sampling
+    mid-episode picks up the impaired state — the chaos replay's way of
+    running packets through a gray hop.
     """
+    capacity = link.available_bw_mbps(t)
     return SimLink(
-        capacity_mbps=link.available_bw_mbps(t),
+        capacity_mbps=capacity,
         prop_delay_ms=link.one_way_delay_ms(t),
         loss_prob=link.loss(t),
         bulk_loss_prob=link.bulk_loss(t),
         queue_packets=queue_packets,
+        line_rate_mbps=max(capacity, 10_000.0),
     )
 
 
 def sim_links_at(links, t: float, queue_packets: int = 128) -> list[SimLink]:
     """Snapshot a whole router path's links at time ``t``."""
     return [sim_link_at(link, t, queue_packets=queue_packets) for link in links]
+
+
+def sim_path_metrics(links: list[SimLink]) -> PathMetrics:
+    """Fold a :class:`SimLink` chain into one :class:`PathMetrics`.
+
+    The model-engine view of exactly what the packet engine simulates:
+    propagation RTT, independent per-hop loss composition (ping-visible
+    and bulk), and the bottleneck capacity.  Feeding this to
+    :func:`~repro.transport.throughput.steady_state_throughput_mbps`
+    gives the apples-to-apples model prediction for a packet replay.
+    """
+    if not links:
+        raise TransportError("need at least one link")
+    one_way_ms = 0.0
+    survive = 1.0
+    survive_bulk = 1.0
+    capacity = float("inf")
+    for link in links:
+        one_way_ms += link.prop_delay_ms
+        survive *= 1.0 - link.loss_prob
+        survive_bulk *= 1.0 - link.data_loss_prob
+        capacity = min(capacity, link.capacity_mbps)
+    return PathMetrics(
+        rtt_ms=2.0 * one_way_ms,
+        loss=1.0 - survive,
+        available_bw_mbps=capacity,
+        capacity_mbps=capacity,
+        bulk_loss=1.0 - survive_bulk,
+    )
 
 
 @dataclass(order=True)
@@ -150,6 +243,7 @@ class _BlockRandom:
         self._pos = 0
 
     def random(self) -> float:
+        """The next uniform draw (identical to ``rng.random()``)."""
         buf = self._buf
         if buf is None or self._pos >= len(buf):
             buf = self._buf = self._rng.random(self.BLOCK)
@@ -159,8 +253,27 @@ class _BlockRandom:
         return value
 
 
+class _DrawPlane(_BlockRandom):
+    """The fastpath's widened draw plane: one block per ~8k draws.
+
+    Same value stream as :class:`_BlockRandom` (and therefore as
+    scalar ``rng.random()`` calls) — ``Generator.random(n)`` is
+    prefix-stable in ``n`` — just refilled 32x less often, so a long
+    transfer's hop-entry drop draws amortize the Generator round-trip
+    to nothing.
+    """
+
+    BLOCK = 8_192
+
+
 class PacketLevelTcp:
-    """One TCP flow over a chain of :class:`SimLink` hops."""
+    """One TCP flow over a chain of :class:`SimLink` hops.
+
+    ``limit_segments`` bounds the transfer (``None`` = greedy for the
+    whole run); a bounded flow that completes early reports the time it
+    actually went idle, not the requested horizon.  ``fastpath``
+    overrides the ``REPRO_PACKET_FASTPATH`` environment default.
+    """
 
     def __init__(
         self,
@@ -168,16 +281,22 @@ class PacketLevelTcp:
         rng: np.random.Generator,
         mss_bytes: int = DEFAULT_MSS,
         rwnd_bytes: int = 1_048_576,
+        limit_segments: int | None = None,
+        fastpath: bool | None = None,
     ) -> None:
         if not links:
             raise TransportError("need at least one link")
         if mss_bytes <= 0:
             raise TransportError(f"MSS must be positive, got {mss_bytes}")
+        if limit_segments is not None and limit_segments < 1:
+            raise TransportError(f"segment limit must be >= 1, got {limit_segments}")
         self.links = list(links)
         self.rng = rng
-        self._rand = _BlockRandom(rng)
+        self._fast = packet_fastpath_enabled() if fastpath is None else fastpath
+        self._rand = _DrawPlane(rng) if self._fast else _BlockRandom(rng)
         self.mss = mss_bytes
         self.rwnd_segments = max(rwnd_bytes // mss_bytes, 2)
+        self.limit_segments = limit_segments
 
         # Sender state.
         self.cwnd = INITIAL_CWND
@@ -193,16 +312,56 @@ class PacketLevelTcp:
         self.rto_s = 1.0
         self.rto_deadline: float | None = None
         self._rto_token = 0
-        self._send_times: dict[int, float] = {}
-        self._retransmitted: set[int] = set()
-        #: Holes already repaired in the current recovery epoch (SACK
-        #: scoreboard) — cleared on RTO so lost repairs can be resent.
-        self._epoch_retx: set[int] = set()
 
         # Receiver state.
         self.expected_seq = 0
-        self.received: set[int] = set()
         self._max_received = -1
+
+        if self._fast:
+            # Sequence-tagged ring buffers, sized so no two live
+            # sequence numbers can share a slot: the live span of every
+            # lookup (send times, Karn flags, SACK scoreboard, epoch
+            # repairs) is bounded by the flight, itself bounded by the
+            # receive window.  A slot whose tag mismatches reads as
+            # "absent" — exactly the scalar mode's pruned-dict answer.
+            ring = 1
+            while ring < 4 * self.rwnd_segments + 64:
+                ring <<= 1
+            self._mask = ring - 1
+            self._sent_seq = np.full(ring, -1, dtype=np.int64)
+            self._sent_time = np.zeros(ring, dtype=np.float64)
+            self._retx_seq = np.full(ring, -1, dtype=np.int64)
+            self._er_seq = np.full(ring, -1, dtype=np.int64)
+            self._er_epoch = np.zeros(ring, dtype=np.int64)
+            self._rcv_seq = np.full(ring, -1, dtype=np.int64)
+            #: Current recovery epoch; bumping it *is* the scalar
+            #: mode's ``_epoch_retx = set()`` reset.
+            self._retx_epoch = 0
+            # Hot-path link constants, gathered once per flow.
+            mss = mss_bytes
+            self._drop_p = [l.data_loss_prob for l in self.links]
+            self._service_s = [l.service_time_s(mss) for l in self.links]
+            self._line_s = [l.line_time_s(mss) for l in self.links]
+            self._prop_s = [l.prop_delay_ms / 1_000.0 for l in self.links]
+            self._queue_cap = [float(l.queue_packets) for l in self.links]
+            self._burst = [l.shaper_burst_packets for l in self.links]
+            self._last_hop = len(self.links) - 1
+            self._ack_delay_s = sum(l.prop_delay_ms for l in self.links) / 1_000.0
+            #: Times of outstanding ``rto_check`` events (at most a
+            #: couple): the lazy re-arm only pushes when no event sits
+            #: at or before the new deadline.
+            self._rto_times: list[float] = []
+        else:
+            self._send_times: dict[int, float] = {}
+            self._retransmitted: set[int] = set()
+            #: Holes already repaired in the current recovery epoch
+            #: (SACK scoreboard) — cleared on RTO so lost repairs can
+            #: be resent.
+            self._epoch_retx: set[int] = set()
+            self._received: set[int] = set()
+            #: Everything below this has been pruned from the dicts and
+            #: sets above (memory stays O(window), not O(segments)).
+            self._prune_floor = 0
 
         # Link state: when each link's transmitter frees up, and the
         # token buckets of shaped links, kept GCRA-style as the virtual
@@ -222,7 +381,9 @@ class PacketLevelTcp:
         self.retransmissions = 0
         self.rtt_samples: list[float] = []
 
-        self._queue: list[_Event] = []
+        # Heap entries are ``_Event`` in scalar mode and plain
+        # ``(time, order, kind, seq, hop)`` tuples in fastpath mode.
+        self._queue: list = []
         self._order = 0
         self._now = 0.0
 
@@ -231,8 +392,47 @@ class PacketLevelTcp:
     # ------------------------------------------------------------------
     def _push(self, time: float, kind: str, seq: int = 0, hop: int = 0) -> None:
         self._order += 1
-        heapq.heappush(self._queue, _Event(time=time, order=self._order, kind=kind,
-                                           seq=seq, hop=hop))
+        if self._fast:
+            # Plain tuples compare in C; ``order`` is unique, so the
+            # comparison never reaches the non-orderable fields and
+            # the heap order matches the scalar ``_Event`` heap.
+            heapq.heappush(self._queue, (time, self._order, kind, seq, hop))
+        else:
+            heapq.heappush(self._queue, _Event(time=time, order=self._order,
+                                               kind=kind, seq=seq, hop=hop))
+
+    # ------------------------------------------------------------------
+    # bookkeeping (ring buffers in fastpath mode, pruned dicts in scalar)
+    # ------------------------------------------------------------------
+    def is_received(self, seq: int) -> bool:
+        """Whether the receiver holds segment ``seq``.
+
+        Everything below the cumulative ``expected_seq`` is received by
+        definition; above it, membership comes from the out-of-order
+        buffer (the ring in fastpath mode, the pruned set otherwise).
+        """
+        if seq < self.expected_seq:
+            return True
+        if self._fast:
+            return self._rcv_seq[seq & self._mask] == seq
+        return seq in self._received
+
+    def _prune(self) -> None:
+        """Drop bookkeeping for long-ACKed segments (scalar mode).
+
+        Keeps a two-window margin below ``highest_acked``: no live
+        lookup (Karn check, RTT sample, hole scan) can reach further
+        back, so pruned state is unobservable — only the memory
+        footprint changes, from O(segments) to O(window).
+        """
+        floor = self.highest_acked - 2 * self.rwnd_segments
+        if floor <= self._prune_floor:
+            return
+        self._send_times = {s: t for s, t in self._send_times.items() if s >= floor}
+        self._retransmitted = {s for s in self._retransmitted if s >= floor}
+        self._epoch_retx = {s for s in self._epoch_retx if s >= floor}
+        self._received = {s for s in self._received if s >= self.expected_seq}
+        self._prune_floor = floor
 
     # ------------------------------------------------------------------
     # sender
@@ -244,7 +444,10 @@ class PacketLevelTcp:
         return min(self.cwnd, float(self.rwnd_segments))
 
     def _try_send_new(self) -> None:
+        limit = self.limit_segments
         while self._flight_size() < int(self._window()):
+            if limit is not None and self.next_seq >= limit:
+                return
             seq = self.next_seq
             self.next_seq += 1
             self._transmit(seq, retransmission=False)
@@ -252,7 +455,14 @@ class PacketLevelTcp:
     def _transmit(self, seq: int, retransmission: bool) -> None:
         if retransmission:
             self.retransmissions += 1
-            self._retransmitted.add(seq)
+            if self._fast:
+                self._retx_seq[seq & self._mask] = seq
+            else:
+                self._retransmitted.add(seq)
+        elif self._fast:
+            slot = seq & self._mask
+            self._sent_seq[slot] = seq
+            self._sent_time[slot] = self._now
         else:
             self._send_times[seq] = self._now
         if self.trace is not None:
@@ -264,20 +474,37 @@ class PacketLevelTcp:
     def _arm_rto(self) -> None:
         """(Re)arm the retransmission timer.
 
-        A token invalidates previously queued timer events, so the
-        event population stays O(1) instead of growing with every ACK.
+        Scalar mode pushes one event per re-arm; a token invalidates
+        the superseded ones.  Fastpath mode re-arms lazily: the one
+        outstanding ``rto_check`` reschedules itself when it pops early
+        — a push only happens when no outstanding event sits at or
+        before the new deadline, so the timer still fires at exactly
+        the scalar mode's instant.
         """
         self.rto_deadline = self._now + self.rto_s
         self._rto_token += 1
-        self._push(self.rto_deadline, "rto_check", seq=self._rto_token)
+        if self._fast:
+            if not self._rto_times or min(self._rto_times) > self.rto_deadline:
+                self._rto_times.append(self.rto_deadline)
+                self._push(self.rto_deadline, "rto_check", seq=self._rto_token)
+        else:
+            self._push(self.rto_deadline, "rto_check", seq=self._rto_token)
 
     def _update_rtt(self, seq: int) -> None:
         # Karn's algorithm: never sample retransmitted segments.
-        if seq in self._retransmitted:
-            return
-        sent = self._send_times.get(seq)
-        if sent is None:
-            return
+        if self._fast:
+            slot = seq & self._mask
+            if self._retx_seq[slot] == seq:
+                return
+            if self._sent_seq[slot] != seq:
+                return
+            sent = float(self._sent_time[slot])
+        else:
+            if seq in self._retransmitted:
+                return
+            sent = self._send_times.get(seq)
+            if sent is None:
+                return
         sample = self._now - sent
         if self.srtt_s is None:
             self.srtt_s = sample
@@ -333,6 +560,15 @@ class PacketLevelTcp:
                         self.cwnd += 1.0  # slow start
                     else:
                         self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+            if (
+                not self._fast
+                # _prune_floor trails highest_acked by the two-window
+                # margin, so require the margin *plus* a full interval
+                # of fresh ACKs before sweeping again.
+                and ack_seq - self._prune_floor
+                >= 2 * self.rwnd_segments + PRUNE_INTERVAL
+            ):
+                self._prune()
             if self._flight_size() > 0:
                 self._arm_rto()
             else:
@@ -345,12 +581,19 @@ class PacketLevelTcp:
                 self.cwnd = self.ssthresh + DUPACK_THRESHOLD
                 self.in_recovery = True
                 self.recovery_point = self.next_seq - 1
-                self._epoch_retx = set()
+                self._reset_epoch()
                 self._retransmit_holes(max(int(self.cwnd / 2), 1))
             elif self.in_recovery or self.dupacks > DUPACK_THRESHOLD:
                 # Window inflation: each dupack signals a departure.
                 self.cwnd += 1.0
         self._try_send_new()
+
+    def _reset_epoch(self) -> None:
+        """Start a fresh recovery epoch (forget this epoch's repairs)."""
+        if self._fast:
+            self._retx_epoch += 1
+        else:
+            self._epoch_retx = set()
 
     def _retransmit_holes(self, budget: int, force_first: bool = False) -> None:
         """Repair up to ``budget`` holes below the recovery point.
@@ -364,11 +607,38 @@ class PacketLevelTcp:
         the first hole (an expired RTO is its own proof of loss).
         Each hole is repaired once per recovery epoch.
         """
+        if self._fast:
+            lo = self.highest_acked + 1
+            if self.recovery_point < lo:
+                return
+            # One vectorized sweep of the scoreboard instead of a
+            # Python loop over every in-window sequence number; the
+            # result is the same ascending list of unrepaired holes.
+            span = np.arange(lo, self.recovery_point + 1, dtype=np.int64)
+            slots = span & self._mask
+            held = (span < self.expected_seq) | (self._rcv_seq[slots] == span)
+            repaired = (self._er_seq[slots] == span) & (
+                self._er_epoch[slots] == self._retx_epoch
+            )
+            sent = 0
+            for rank, offset in enumerate(np.nonzero(~held & ~repaired)[0]):
+                if sent >= budget:
+                    break
+                seq = lo + int(offset)
+                evidenced = self._max_received >= seq + DUPACK_THRESHOLD
+                if evidenced or (rank == 0 and force_first):
+                    slot = seq & self._mask
+                    self._er_seq[slot] = seq
+                    self._er_epoch[slot] = self._retx_epoch
+                    self._transmit(seq, retransmission=True)
+                    sent += 1
+            return
         sent = 0
         seq = self.highest_acked + 1
         first = True
         while sent < budget and seq <= self.recovery_point:
-            if seq not in self.received and seq not in self._epoch_retx:
+            missing = seq not in self._received and seq not in self._epoch_retx
+            if missing:
                 evidenced = self._max_received >= seq + DUPACK_THRESHOLD
                 if evidenced or (first and force_first):
                     self._epoch_retx.add(seq)
@@ -377,15 +647,27 @@ class PacketLevelTcp:
                 first = False
             seq += 1
 
-    def _on_rto_check(self, token: int) -> None:
-        if token != self._rto_token or self.rto_deadline is None:
-            return  # superseded by a later re-arm
-        if self._now < self.rto_deadline - 1e-12:  # pragma: no cover
-            self._push(self.rto_deadline, "rto_check", seq=token)
-            return
+    def _on_rto_check(self, token: int) -> bool:
+        """Handle a timer event; returns True when the timeout fired."""
+        if self._fast:
+            self._rto_times.remove(self._now)
+            if self.rto_deadline is None:
+                return False
+            if self._now < self.rto_deadline - 1e-12:
+                # Popped early (the deadline moved on): reschedule at
+                # the current deadline — the lazy re-arm's other half.
+                self._rto_times.append(self.rto_deadline)
+                self._push(self.rto_deadline, "rto_check", seq=self._rto_token)
+                return False
+        else:
+            if token != self._rto_token or self.rto_deadline is None:
+                return False  # superseded by a later re-arm
+            if self._now < self.rto_deadline - 1e-12:  # pragma: no cover
+                self._push(self.rto_deadline, "rto_check", seq=token)
+                return False
         if self._flight_size() == 0:
             self.rto_deadline = None
-            return
+            return False
         # Timeout: collapse the window and resend the missing segment.
         # Stay in (or enter) recovery up to the current high-water mark
         # so subsequent cumulative ACKs keep clocking out hole repairs
@@ -397,9 +679,10 @@ class PacketLevelTcp:
         self.recovery_point = self.next_seq - 1
         self.dupacks = 0
         self.rto_s = min(self.rto_s * 2.0, 60.0)
-        self._epoch_retx = set()  # a lost repair may be resent now
+        self._reset_epoch()  # a lost repair may be resent now
         self._retransmit_holes(1, force_first=True)
         self._arm_rto()
+        return True
 
     # ------------------------------------------------------------------
     # path traversal
@@ -412,11 +695,7 @@ class PacketLevelTcp:
         drop = link.data_loss_prob
         if drop > 0 and self._rand.random() < drop:
             return
-        # Tail drop when the queue is full.
-        backlog = max(self._link_free_at[hop] - self._now, 0.0)
         service = link.service_time_s(self.mss)
-        if backlog / service >= link.queue_packets:
-            return
         if link.is_shaped:
             # GCRA token bucket: the bucket refills continuously at the
             # shaped rate; each packet consumes one token (advancing
@@ -429,6 +708,18 @@ class PacketLevelTcp:
                 self._now - link.shaper_burst_packets * service,
             )
             token_ready = max(self._now, empty_at + service)
+        else:
+            empty_at = 0.0
+            token_ready = self._now
+        # Tail drop when the queue is full.  Occupancy is backlog over
+        # the per-packet time of whatever currently drains the
+        # transmitter: the line rate while the shaper has a token
+        # ready, the shaped service rate once token-limited.
+        drain_s = link.drain_time_s(self.mss, token_ready <= self._now)
+        backlog = max(self._link_free_at[hop] - self._now, 0.0)
+        if backlog / drain_s >= link.queue_packets:
+            return
+        if link.is_shaped:
             self._shaper_empty_at[hop] = empty_at + service
             # Token wait and transmitter wait overlap in time.
             departure = max(token_ready, self._link_free_at[hop]) + link.line_time_s(
@@ -443,44 +734,163 @@ class PacketLevelTcp:
         else:
             self._push(arrival, "deliver", seq=seq)
 
+    def _on_enter_hop_fast(self, seq: int, hop: int) -> None:
+        """Burst traversal: one pass down every loss-free hop chain.
+
+        The chain-entry hop's drop draw stays a real heap event (so the
+        RNG consumption order matches scalar mode exactly); after it,
+        the segment rides ``max``/``+`` arithmetic through consecutive
+        zero-drop hops without touching the heap.  Safe because links
+        are FIFO with uniform service times — segments never overtake,
+        so per-hop transmitter state mutates in the same order the
+        scalar event interleaving would produce, on the same values.
+        """
+        now = self._now
+        drop = self._drop_p[hop]
+        if drop > 0.0 and self._rand.random() < drop:
+            return
+        free = self._link_free_at
+        drop_p = self._drop_p
+        last = self._last_hop
+        while True:
+            free_at = free[hop]
+            backlog = free_at - now
+            burst = self._burst[hop]
+            if burst:
+                service = self._service_s[hop]
+                empty_at = self._shaper_empty_at[hop]
+                floor = now - burst * service
+                if empty_at < floor:
+                    empty_at = floor
+                token_ready = empty_at + service
+                if token_ready < now:
+                    token_ready = now
+                drain_s = self._line_s[hop] if token_ready <= now else service
+                if backlog > 0.0 and backlog / drain_s >= self._queue_cap[hop]:
+                    return
+                self._shaper_empty_at[hop] = empty_at + service
+                head = token_ready if token_ready > free_at else free_at
+                departure = head + self._line_s[hop]
+            else:
+                if (
+                    backlog > 0.0
+                    and backlog / self._service_s[hop] >= self._queue_cap[hop]
+                ):
+                    return
+                head = now if now > free_at else free_at
+                departure = head + self._service_s[hop]
+            free[hop] = departure
+            arrival = departure + self._prop_s[hop]
+            if hop == last:
+                self._push(arrival, "deliver", seq=seq)
+                return
+            hop += 1
+            if drop_p[hop] > 0.0:
+                # The next hop draws against loss: cut the burst here
+                # so the draw happens at its own event, in time order.
+                self._push(arrival, "enter_hop", seq=seq, hop=hop)
+                return
+            now = arrival
+
     def _on_deliver(self, seq: int) -> None:
         if self.trace is not None:
             self.trace.append((self._now, "deliver", seq))
-        self._max_received = max(self._max_received, seq)
-        if seq not in self.received:
-            self.received.add(seq)
-            if seq >= self.expected_seq:
-                while self.expected_seq in self.received:
+        if seq > self._max_received:
+            self._max_received = seq
+        if self._fast:
+            slot = seq & self._mask
+            if not (seq < self.expected_seq or self._rcv_seq[slot] == seq):
+                self._rcv_seq[slot] = seq
+                if seq >= self.expected_seq:
+                    rcv = self._rcv_seq
+                    mask = self._mask
+                    expected = self.expected_seq
+                    while rcv[expected & mask] == expected:
+                        expected += 1
+                        self.delivered_segments += 1
+                    self.expected_seq = expected
+            ack_delay = self._ack_delay_s
+        else:
+            if seq not in self._received and seq >= self.expected_seq:
+                self._received.add(seq)
+                while self.expected_seq in self._received:
                     self.expected_seq += 1
                     self.delivered_segments += 1
-        # Cumulative ACK travels back over the aggregate prop delay
-        # (ACKs are small; queuing on the reverse path is ignored).
+            # Cumulative ACK travels back over the aggregate prop delay
+            # (ACKs are small; queuing on the reverse path is ignored).
+            ack_delay = sum(l.prop_delay_ms for l in self.links) / 1_000.0
         # ``hop`` carries the echoed trigger segment.
-        ack_delay = sum(l.prop_delay_ms for l in self.links) / 1_000.0
         self._push(self._now + ack_delay, "ack", seq=self.expected_seq - 1, hop=seq)
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self, duration_s: float) -> FlowStats:
-        """Simulate a greedy transfer for ``duration_s``."""
+        """Simulate a transfer for up to ``duration_s`` simulated seconds.
+
+        An unbounded (greedy) flow always runs the full horizon.  A
+        ``limit_segments``-bounded flow that completes early reports
+        the time of its last real activity — delivery, ACK or fired
+        timeout — as ``FlowStats.duration_s``, and the throughput
+        denominator matches, so the two never disagree about how much
+        simulated time the transfer actually used.
+        """
         if duration_s <= 0:
             raise TransportError(f"duration must be positive, got {duration_s}")
         self._try_send_new()
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.time > duration_s:
-                break
-            self._now = event.time
-            if event.kind == "enter_hop":
-                self._on_enter_hop(event.seq, event.hop)
-            elif event.kind == "deliver":
-                self._on_deliver(event.seq)
-            elif event.kind == "ack":
-                self._on_ack(event.seq, event.hop)
-            else:
-                self._on_rto_check(event.seq)
+        last_active = 0.0
+        queue = self._queue
+        if self._fast:
+            on_enter_hop = self._on_enter_hop_fast
+            while queue:
+                time, _, kind, seq, hop = heapq.heappop(queue)
+                if time > duration_s:
+                    # Horizon reached mid-flight: clamp the clock so
+                    # the reported duration equals the simulated span.
+                    self._now = duration_s
+                    last_active = duration_s
+                    break
+                self._now = time
+                if kind == "enter_hop":
+                    on_enter_hop(seq, hop)
+                    last_active = time
+                elif kind == "deliver":
+                    self._on_deliver(seq)
+                    last_active = time
+                elif kind == "ack":
+                    self._on_ack(seq, hop)
+                    last_active = time
+                elif self._on_rto_check(seq):
+                    last_active = time
+        else:
+            while queue:
+                event = heapq.heappop(queue)
+                time = event.time
+                if time > duration_s:
+                    # Horizon reached mid-flight: clamp the clock so
+                    # the reported duration equals the simulated span.
+                    self._now = duration_s
+                    last_active = duration_s
+                    break
+                self._now = time
+                kind = event.kind
+                if kind == "enter_hop":
+                    self._on_enter_hop(event.seq, event.hop)
+                    last_active = time
+                elif kind == "deliver":
+                    self._on_deliver(event.seq)
+                    last_active = time
+                elif kind == "ack":
+                    self._on_ack(event.seq, event.hop)
+                    last_active = time
+                elif self._on_rto_check(event.seq):
+                    # Superseded timer events are no-ops and do not
+                    # count as activity (the two modes hold different
+                    # numbers of them, so counting them would skew the
+                    # idle tail).
+                    last_active = time
 
+        end_s = last_active if last_active > 0.0 else duration_s
         bytes_acked = self.delivered_segments * self.mss
         avg_rtt_ms = (
             1_000.0 * sum(self.rtt_samples) / len(self.rtt_samples)
@@ -488,9 +898,9 @@ class PacketLevelTcp:
             else 2.0 * sum(l.prop_delay_ms for l in self.links)
         )
         return FlowStats(
-            duration_s=duration_s,
+            duration_s=end_s,
             bytes_acked=bytes_acked,
             bytes_retransmitted=self.retransmissions * self.mss,
             avg_rtt_ms=avg_rtt_ms,
-            throughput_mbps=bytes_acked * 8 / duration_s / 1e6,
+            throughput_mbps=bytes_acked * 8 / end_s / 1e6,
         )

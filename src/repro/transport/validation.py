@@ -46,6 +46,7 @@ class Scenario:
 
     @property
     def rtt_ms(self) -> float:
+        """Round-trip propagation time of the scenario's path."""
         return 2.0 * self.one_way_delay_ms
 
     @property

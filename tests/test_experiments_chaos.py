@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ExperimentError
-from repro.experiments.chaos_exp import ChaosConfig, run_chaos
+from repro.experiments.chaos_exp import (
+    ChaosConfig,
+    PacketReplayConfig,
+    run_chaos,
+    run_chaos_packet,
+)
 
 
 @pytest.fixture(scope="module")
@@ -209,3 +214,54 @@ class TestAdaptiveAblationKnobs:
             if o.arm == "adaptive" and o.strategy == "controller-best"
         )
         assert adaptive.detect_s is not None
+
+
+class TestPacketReplay:
+    """The packet-level chaos replay (``repro chaos --engine packet``)."""
+
+    CONFIG = PacketReplayConfig(duration_s=900.0, flow_s=1.0)
+
+    def test_two_runs_identical(self):
+        first = run_chaos_packet(self.CONFIG)
+        second = run_chaos_packet(self.CONFIG)
+        assert first.samples == second.samples
+        assert first.render() == second.render()
+
+    def test_covers_scenarios_paths_and_outage(self):
+        result = run_chaos_packet(self.CONFIG)
+        scenarios = {s.scenario for s in result.samples}
+        assert scenarios == set(self.CONFIG.scenario_names)
+        paths = {s.path for s in result.samples}
+        assert "direct" in paths and len(paths) >= 2
+        # probe-blackout takes the direct path down mid-story: at least
+        # one sample must land inside the outage window.
+        assert any(not s.alive for s in result.samples)
+        for sample in result.samples:
+            if sample.alive:
+                assert sample.packet_mbps >= 0.0
+                assert sample.model_mbps > 0.0
+                # tstat-style proxy (retx bytes / acked bytes): can
+                # exceed 1 under heavy loss, but never goes negative.
+                assert sample.retx_rate >= 0.0
+
+    def test_gray_failure_compounds_loss(self):
+        """Mid-episode samples see the degradation the quiet ones don't."""
+        result = run_chaos_packet(
+            PacketReplayConfig(duration_s=900.0, flow_s=1.0,
+                               scenarios=("gray-detect",))
+        )
+        for path in {s.path for s in result.samples}:
+            on_path = [s for s in result.samples if s.path == path and s.alive]
+            quiet = max(s.packet_mbps for s in on_path)
+            impaired = min(s.packet_mbps for s in on_path)
+            assert impaired < quiet
+
+    def test_fastpath_and_scalar_replays_agree(self, monkeypatch):
+        fast = run_chaos_packet(self.CONFIG)
+        monkeypatch.setenv("REPRO_PACKET_FASTPATH", "0")
+        scalar = run_chaos_packet(self.CONFIG)
+        assert fast.samples == scalar.samples
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ExperimentError):
+            PacketReplayConfig(scenarios=("nope",))

@@ -132,7 +132,7 @@ class TestMechanics:
         tcp.run(10.0)
         # Everything delivered was delivered in order.
         assert tcp.delivered_segments == tcp.expected_seq
-        assert set(range(tcp.expected_seq)) <= tcp.received
+        assert all(tcp.is_received(seq) for seq in range(tcp.expected_seq))
 
     def test_validation(self):
         with pytest.raises(TransportError):
@@ -144,3 +144,202 @@ class TestMechanics:
         tcp = PacketLevelTcp([SimLink(10.0, 1.0)], np.random.default_rng(0))
         with pytest.raises(TransportError):
             tcp.run(0.0)
+
+
+class TestBlockRandom:
+    """Bit-identity of the block-buffered RNG planes (DESIGN.md §17)."""
+
+    def test_block_random_matches_scalar_across_boundaries(self):
+        from repro.transport.packetsim import _BlockRandom
+
+        block = _BlockRandom(np.random.default_rng(9))
+        reference = np.random.default_rng(9)
+        # 1,000 draws cross the 256-value block boundary three times.
+        assert [block.random() for _ in range(1_000)] == [
+            reference.random() for _ in range(1_000)
+        ]
+
+    def test_draw_plane_matches_scalar_across_boundaries(self):
+        from repro.transport.packetsim import _DrawPlane
+
+        plane = _DrawPlane(np.random.default_rng(11))
+        reference = np.random.default_rng(11)
+        # 20,000 draws cross the 8,192-value block boundary twice.
+        assert [plane.random() for _ in range(20_000)] == [
+            reference.random() for _ in range(20_000)
+        ]
+
+
+FASTPATH_CONFIGS = {
+    "clean": [SimLink(100.0, 10.0)],
+    "lossy": [SimLink(100.0, 10.0, loss_prob=5e-3)],
+    "multihop": [SimLink(1_000.0, 3.0)] * 4
+    + [SimLink(200.0, 8.0, loss_prob=1e-3)]
+    + [SimLink(1_000.0, 5.0)] * 5,
+    "shaped": [
+        SimLink(20.0, 5.0, shaper_burst_packets=64, line_rate_mbps=1_000.0),
+        SimLink(100.0, 20.0, loss_prob=2e-3),
+    ],
+    "gray": [
+        SimLink(100.0, 15.0, loss_prob=1e-3, bulk_loss_prob=8e-3),
+        SimLink(500.0, 30.0),
+    ],
+    "tiny-queue": [
+        SimLink(50.0, 2.0, queue_packets=16),
+        SimLink(50.0, 40.0, loss_prob=3e-3),
+    ],
+}
+
+
+class TestFastpathIdentity:
+    """The batched engine is byte-identical to the scalar reference.
+
+    Property-style: every link shape the engine models (clean, lossy,
+    multihop, shaped, gray, queue-limited) across several seeds, with
+    the full packet trace compared — not just the summary stats.
+    """
+
+    @pytest.mark.parametrize("name", sorted(FASTPATH_CONFIGS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_trace_and_stats_identical(self, name, seed):
+        links = FASTPATH_CONFIGS[name]
+        results = {}
+        for fastpath in (True, False):
+            tcp = PacketLevelTcp(
+                links,
+                np.random.default_rng(seed),
+                rwnd_bytes=1_048_576,
+                fastpath=fastpath,
+            )
+            tcp.trace = []
+            stats = tcp.run(5.0)
+            results[fastpath] = (
+                stats,
+                tcp.trace,
+                tcp.delivered_segments,
+                tcp.retransmissions,
+                tuple(tcp.rtt_samples),
+            )
+        assert results[True] == results[False]
+
+    def test_bounded_flow_identical(self):
+        for fastpath in (True, False):
+            tcp = PacketLevelTcp(
+                FASTPATH_CONFIGS["lossy"],
+                np.random.default_rng(5),
+                rwnd_bytes=262_144,
+                limit_segments=2_000,
+                fastpath=fastpath,
+            )
+            stats = tcp.run(60.0)
+            assert tcp.delivered_segments == 2_000
+            if fastpath:
+                reference = stats
+        assert stats == reference
+
+    def test_env_var_opt_out(self, monkeypatch):
+        from repro.transport import packetsim
+
+        monkeypatch.setenv("REPRO_PACKET_FASTPATH", "0")
+        assert not packetsim.packet_fastpath_enabled()
+        tcp = PacketLevelTcp([SimLink(10.0, 1.0)], np.random.default_rng(0))
+        assert not tcp._fast
+        monkeypatch.delenv("REPRO_PACKET_FASTPATH")
+        assert packetsim.packet_fastpath_enabled()
+
+
+class TestLongTransferBugfixes:
+    """The three long-transfer correctness fixes (ISSUE 10 satellites)."""
+
+    def test_bookkeeping_memory_is_o_window(self):
+        # A multi-minute flow: ~190k delivered segments through a lossy
+        # bottleneck.  Pre-fix, _send_times/_received/_retransmitted
+        # grew one entry per segment; post-fix they stay O(window).
+        links = [SimLink(25.0, 10.0, loss_prob=1e-3)]
+        tcp = PacketLevelTcp(
+            links, np.random.default_rng(3), rwnd_bytes=1_048_576, fastpath=False
+        )
+        tcp.run(150.0)
+        assert tcp.delivered_segments > 50_000
+        bound = 4 * tcp.rwnd_segments + 4_096  # two-window margin + prune lag
+        assert len(tcp._send_times) < bound
+        assert len(tcp._received) < bound
+        assert len(tcp._retransmitted) < bound
+        assert len(tcp._epoch_retx) < bound
+
+    def test_fastpath_rings_wrap_on_long_flows(self):
+        # The ring buffers are fixed-size; a flow delivering many times
+        # the ring size must wrap them without corrupting delivery.
+        links = [SimLink(25.0, 2.0, loss_prob=1e-3)]
+        tcp = PacketLevelTcp(
+            links, np.random.default_rng(3), rwnd_bytes=65_536, fastpath=True
+        )
+        tcp.run(60.0)
+        ring = len(tcp._rcv_seq)
+        assert tcp.delivered_segments > 4 * ring
+        assert tcp.delivered_segments == tcp.expected_seq
+
+    def test_shaped_burst_larger_than_queue_overflows(self):
+        # Token-rich shaped hop, burst allowance far above the queue:
+        # the transmitter drains at the line rate, so an instantaneous
+        # window burst deeper than the queue tail-drops the excess.
+        # Pre-fix, occupancy was counted at the (50x slower) shaped
+        # service rate and the overflow passed silently.
+        link = SimLink(
+            20.0,
+            5.0,
+            queue_packets=8,
+            shaper_burst_packets=256,
+            line_rate_mbps=1_000.0,
+        )
+        tcp = PacketLevelTcp([link], np.random.default_rng(0), rwnd_bytes=1_048_576)
+        tcp.run(2.0)
+        assert tcp.retransmissions > 0  # the overflow is visible
+
+    def test_shaped_token_limited_queue_keeps_full_depth(self):
+        # Once token-limited, departures space at the shaped service
+        # rate, so a full queue really holds queue_packets packets —
+        # the sustained flow still saturates the shaped rate.
+        link = SimLink(20.0, 5.0, shaper_burst_packets=64, line_rate_mbps=1_000.0)
+        stats = run([link], seed=1, duration=30.0, rwnd=1_048_576)
+        assert stats.throughput_mbps == pytest.approx(20.0, rel=0.1)
+
+    def test_idle_before_horizon_reports_actual_duration(self):
+        # A bounded transfer that finishes long before the horizon:
+        # duration_s reflects the time the flow actually used, and the
+        # throughput denominator agrees with it.
+        links = [SimLink(100.0, 10.0)]
+        tcp = PacketLevelTcp(
+            links, np.random.default_rng(2), rwnd_bytes=262_144, limit_segments=500
+        )
+        stats = tcp.run(300.0)
+        assert tcp.delivered_segments == 500
+        assert stats.duration_s < 2.0  # ~0.6 MB at 100 Mbps: well under 2 s
+        assert stats.throughput_mbps == pytest.approx(
+            stats.bytes_acked * 8 / stats.duration_s / 1e6
+        )
+
+    def test_greedy_flow_still_reports_the_horizon(self):
+        stats = run([SimLink(100.0, 10.0)], duration=5.0)
+        assert stats.duration_s == 5.0
+
+
+class TestGrayHopAgreement:
+    """Packet engine vs model engine on bulk-only gray loss."""
+
+    def test_mathis_scaling_under_bulk_loss(self):
+        # Quadrupling the bulk-only drop probability should halve
+        # throughput (Mathis: rate ~ 1/sqrt(p)); the packet engine and
+        # the analytic law must agree on both level and scaling.
+        rates = {}
+        for bulk in (1e-3, 4e-3):
+            links = [SimLink(400.0, 40.0, loss_prob=0.0, bulk_loss_prob=bulk)]
+            samples = [
+                run(links, seed=seed, duration=30.0).throughput_mbps
+                for seed in range(3)
+            ]
+            rates[bulk] = statistics.fmean(samples)
+            expected = mathis_throughput_mbps(1_460, 80.0, bulk)
+            assert 0.3 * expected < rates[bulk] < 1.3 * expected
+        ratio = rates[1e-3] / rates[4e-3]
+        assert 1.4 < ratio < 2.8  # ideal sqrt(4) = 2
